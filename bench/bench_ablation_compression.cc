@@ -1,0 +1,65 @@
+// Ablation A3 (paper §III-C2): can heavier compression trade the Pi's
+// strong CPU for its scarce memory bandwidth? Models a scan +
+// equality-filter over a 10M-row string column stored three ways:
+// raw strings (25 B/value), fixed-width dictionary codes (4 B/value), and
+// bit-packed dictionary codes (1 B/value, extra unpack compute).
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "exec/counters.h"
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+
+int main() {
+  using wimpi::TablePrinter;
+  using wimpi::exec::OpStats;
+  using wimpi::exec::QueryStats;
+
+  const double rows = 10e6;
+  const wimpi::hw::CostModel model;
+
+  struct Variant {
+    const char* name;
+    double bytes_per_value;
+    double ops_per_value;
+  };
+  const Variant variants[] = {
+      {"raw strings (25B)", 25.0, 6.0},       // memcmp per value
+      {"dictionary codes (4B)", 4.0, 1.0},    // int compare
+      {"bit-packed codes (1B)", 1.0, 3.0},    // unpack + compare
+  };
+
+  std::cout << "ABLATION: compression vs bandwidth for a 10M-row string "
+               "scan (seconds, all cores)\n";
+  TablePrinter t({"Encoding", "pi3b+", "op-gold", "pi speedup vs raw",
+                  "op-gold speedup vs raw"});
+  double pi_raw = 0, gold_raw = 0;
+  for (const auto& v : variants) {
+    QueryStats stats;
+    OpStats op;
+    op.op = v.name;
+    op.seq_bytes = rows * v.bytes_per_value;
+    op.compute_ops = rows * v.ops_per_value;
+    stats.Add(op);
+    const double pi =
+        model.WorkSeconds(wimpi::hw::PiProfile(), stats);
+    const double gold =
+        model.WorkSeconds(wimpi::hw::ProfileByName("op-gold"), stats);
+    if (pi_raw == 0) {
+      pi_raw = pi;
+      gold_raw = gold;
+    }
+    t.AddRow({v.name, TablePrinter::Fixed(pi, 3),
+              TablePrinter::Fixed(gold, 3),
+              TablePrinter::Multiplier(pi_raw / pi),
+              TablePrinter::Multiplier(gold_raw / gold)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nReading: on the bandwidth-starved Pi even compute-heavier "
+               "encodings pay for themselves, while on op-gold the gains "
+               "flatten once the scan stops being bandwidth-bound -- the "
+               "paper's argument that SBCs can afford aggressive "
+               "compression previously considered too costly.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 6: runtimes normalized by hourly cost (the seven
+// cloud instance types vs the Pi's electricity-only $0.0004/h).
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/metrics.h"
+#include "bench_util.h"
+#include "cluster/wimpi_cluster.h"
+#include "common/cli.h"
+#include "common/table_printer.h"
+#include "paper_data.h"
+
+int main(int argc, char** argv) {
+  using wimpi::TablePrinter;
+  using namespace wimpi::analysis;
+  using namespace wimpi::bench;
+
+  const wimpi::CommandLine cli(argc, argv);
+  const double physical_sf = cli.GetDouble("physical-sf", 0.1);
+
+  const wimpi::engine::Database db = LoadDb(physical_sf);
+  const wimpi::hw::CostModel model;
+  const auto cloud = wimpi::hw::CloudProfiles();
+
+  // --- SF 1 ---
+  const auto sf1_stats =
+      CollectQueryStats(db, 1.0 / physical_sf, AllQueryNumbers());
+  const auto sf1 = ModelRuntimes(sf1_stats, model);
+
+  std::cout << "FIGURE 6 (left): hourly-cost-normalized improvement at SF 1 "
+               "(single Pi; >1 means the Pi wins)\n";
+  TablePrinter left({"Instance", "median", "min", "max"});
+  double global_max = 0;
+  for (const auto* p : cloud) {
+    std::vector<double> imps;
+    for (int q = 1; q <= 22; ++q) {
+      imps.push_back(Improvement(sf1.at(q).at(p->name), ServerHourly(*p),
+                                 sf1.at(q).at("pi3b+"), PiClusterHourly(1)));
+    }
+    auto mm = std::minmax_element(imps.begin(), imps.end());
+    global_max = std::max(global_max, *mm.second);
+    left.AddRow({p->name, TablePrinter::Multiplier(Median(imps)),
+                 TablePrinter::Multiplier(*mm.first),
+                 TablePrinter::Multiplier(*mm.second)});
+  }
+  left.Print(std::cout);
+  std::printf("  max SF 1 improvement: %.0fx (paper: up to 10,000x; the Pi "
+              "wins every query on every instance)\n",
+              global_max);
+
+  // --- SF 10 ---
+  const auto& queries = PaperSf10Queries();
+  std::cout << "\nFIGURE 6 (right): hourly-cost-normalized improvement at "
+               "SF 10 (WIMPI-24 vs cloud)\n";
+  const auto sf10_stats = CollectQueryStats(db, 10.0 / physical_sf, queries);
+  const auto sf10 = ModelRuntimes(sf10_stats, model);
+
+  wimpi::cluster::ClusterOptions opts;
+  opts.num_nodes = 24;
+  opts.sf_scale = 10.0 / physical_sf;
+  const wimpi::cluster::WimpiCluster wimpi(db, opts);
+  std::map<int, double> wimpi_time;
+  for (const int q : queries) {
+    wimpi_time[q] = wimpi.Run(q, model).total_seconds;
+  }
+
+  std::vector<std::string> header = {"Instance"};
+  for (const int q : queries) header.push_back("Q" + std::to_string(q));
+  TablePrinter right(header);
+  double min_q13 = 1e18, max_any = 0;
+  for (const auto* p : cloud) {
+    std::vector<std::string> row = {p->name};
+    for (const int q : queries) {
+      const double imp =
+          Improvement(sf10.at(q).at(p->name), ServerHourly(*p),
+                      wimpi_time[q], PiClusterHourly(24));
+      max_any = std::max(max_any, imp);
+      if (q == 13) min_q13 = std::min(min_q13, imp);
+      row.push_back(TablePrinter::Multiplier(imp));
+    }
+    right.AddRow(std::move(row));
+  }
+  right.Print(std::cout);
+  std::printf("  max SF 10 improvement %.0fx (paper: up to 1,200x); worst "
+              "Q13 improvement %.1fx (paper: still 3-10x even for Q13)\n",
+              max_any, min_q13);
+  return 0;
+}

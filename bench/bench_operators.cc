@@ -1,0 +1,108 @@
+// Ablation A2: google-benchmark microbenchmarks of the engine's core
+// operators on the host (real wall-clock performance, not modeled). These
+// ground the abstract work-unit constants in counters.h.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/aggregate.h"
+#include "exec/expr.h"
+#include "exec/filter.h"
+#include "exec/join.h"
+#include "exec/sort.h"
+#include "storage/table.h"
+
+namespace wimpi {
+namespace {
+
+storage::Table MakeTable(int64_t rows, uint64_t seed) {
+  storage::Schema schema({{"k", storage::DataType::kInt64},
+                          {"v", storage::DataType::kFloat64},
+                          {"g", storage::DataType::kInt32}});
+  storage::Table t("bench", schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    t.column(0).AppendInt64(rng.Uniform(0, rows));
+    t.column(1).AppendFloat64(rng.NextDouble() * 100);
+    t.column(2).AppendInt32(static_cast<int32_t>(rng.Uniform(0, 1023)));
+  }
+  t.FinishLoad();
+  return t;
+}
+
+void BM_FilterF64(benchmark::State& state) {
+  const storage::Table t = MakeTable(state.range(0), 1);
+  for (auto _ : state) {
+    const exec::SelVec sel = exec::Filter(
+        exec::ColumnSource(t),
+        {exec::Predicate::CmpF64("v", exec::CmpOp::kLt, 50.0)}, nullptr);
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterF64)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Gather(benchmark::State& state) {
+  const storage::Table t = MakeTable(state.range(0), 2);
+  const exec::SelVec sel = exec::Filter(
+      exec::ColumnSource(t),
+      {exec::Predicate::CmpF64("v", exec::CmpOp::kLt, 50.0)}, nullptr);
+  for (auto _ : state) {
+    auto col = exec::Gather(t.column("v"), sel, nullptr);
+    benchmark::DoNotOptimize(col->size());
+  }
+  state.SetItemsProcessed(state.iterations() * sel.size());
+}
+BENCHMARK(BM_Gather)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashJoin(benchmark::State& state) {
+  const storage::Table build = MakeTable(state.range(0) / 4, 3);
+  const storage::Table probe = MakeTable(state.range(0), 4);
+  for (auto _ : state) {
+    const exec::JoinResult jr =
+        exec::HashJoin({&build.column("k")}, {&probe.column("k")},
+                       exec::JoinKind::kInner, nullptr);
+    benchmark::DoNotOptimize(jr.probe_idx.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashAggregate(benchmark::State& state) {
+  const storage::Table t = MakeTable(state.range(0), 5);
+  for (auto _ : state) {
+    exec::Relation agg = exec::HashAggregate(
+        exec::ColumnSource(t), {"g"},
+        {{exec::AggFn::kSum, "v", "s"}, {exec::AggFn::kCountStar, "", "c"}},
+        nullptr);
+    benchmark::DoNotOptimize(agg.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregate)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Sort(benchmark::State& state) {
+  const storage::Table t = MakeTable(state.range(0), 6);
+  for (auto _ : state) {
+    const exec::SelVec perm =
+        exec::SortPerm(exec::ColumnSource(t), {{"v", false}}, nullptr);
+    benchmark::DoNotOptimize(perm.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_TopN(benchmark::State& state) {
+  const storage::Table t = MakeTable(state.range(0), 7);
+  for (auto _ : state) {
+    const exec::SelVec perm =
+        exec::SortPerm(exec::ColumnSource(t), {{"v", false}}, nullptr, 100);
+    benchmark::DoNotOptimize(perm.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopN)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace wimpi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Reproduces Table I: hardware specifications of every comparison point.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "hw/profile.h"
+
+int main() {
+  using wimpi::TablePrinter;
+  std::cout << "TABLE I: Hardware Specifications\n";
+  TablePrinter t({"Category", "Name", "CPU", "Frequency", "Cores", "LLC",
+                  "MSRP", "Hourly", "TDP"});
+  std::string last_category;
+  for (const auto& p : wimpi::hw::AllProfiles()) {
+    if (!last_category.empty() && p.category != last_category) {
+      t.AddSeparator();
+    }
+    last_category = p.category;
+    char freq[32], llc[32], msrp[32], hourly[32], tdp[32];
+    std::snprintf(freq, sizeof(freq), "%.1f GHz", p.freq_ghz);
+    if (p.llc_bytes >= 1024 * 1024) {
+      std::snprintf(llc, sizeof(llc), "%.5g MB",
+                    p.llc_bytes / (1024.0 * 1024.0));
+    } else {
+      std::snprintf(llc, sizeof(llc), "%.0f KB", p.llc_bytes / 1024.0);
+    }
+    if (p.msrp_usd >= 0) {
+      std::snprintf(msrp, sizeof(msrp), "$%.0f", p.msrp_usd);
+    } else {
+      std::snprintf(msrp, sizeof(msrp), "-");
+    }
+    if (p.hourly_usd >= 0) {
+      std::snprintf(hourly, sizeof(hourly), "$%.4g", p.hourly_usd);
+    } else {
+      std::snprintf(hourly, sizeof(hourly), "-");
+    }
+    if (p.tdp_watts >= 0) {
+      std::snprintf(tdp, sizeof(tdp), "%.1f W", p.tdp_watts);
+    } else {
+      std::snprintf(tdp, sizeof(tdp), "-");
+    }
+    t.AddRow({p.category, p.name, p.cpu, freq, std::to_string(p.cores), llc,
+              msrp, hourly, tdp});
+  }
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Table II (TPC-H SF 1 runtimes across all ten comparison
+// points) and the left half of Figure 3 (per-query speedups relative to the
+// Raspberry Pi 3B+). Queries execute for real at --physical-sf and the
+// recorded work counters are projected to SF 1 through the hardware model.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/metrics.h"
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/table_printer.h"
+#include "paper_data.h"
+
+int main(int argc, char** argv) {
+  using wimpi::TablePrinter;
+  using namespace wimpi::bench;
+
+  const wimpi::CommandLine cli(argc, argv);
+  const double physical_sf = cli.GetDouble("physical-sf", 0.1);
+  const double model_sf = 1.0;
+
+  const wimpi::engine::Database db = LoadDb(physical_sf);
+  const auto stats =
+      CollectQueryStats(db, model_sf / physical_sf, AllQueryNumbers());
+  const wimpi::hw::CostModel model;
+  const auto runtimes = ModelRuntimes(stats, model);
+
+  // --- Table II ---
+  std::cout << "TABLE II: modeled runtimes (s) for SF 1\n";
+  std::vector<std::string> header = {"Name"};
+  for (int q = 1; q <= 22; ++q) header.push_back("Q" + std::to_string(q));
+  TablePrinter t(header);
+  for (const auto& p : wimpi::hw::AllProfiles()) {
+    std::vector<std::string> row = {p.name};
+    for (int q = 1; q <= 22; ++q) {
+      row.push_back(TablePrinter::Fixed(runtimes.at(q).at(p.name), 3));
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print(std::cout);
+
+  // --- Measured vs paper ---
+  std::cout << "\nModel vs paper (Table II), runtime ratio model/paper:\n";
+  TablePrinter cmp({"Name", "median ratio", "min", "max"});
+  for (const auto& p : wimpi::hw::AllProfiles()) {
+    const auto& paper = PaperTable2().at(p.name);
+    std::vector<double> ratios;
+    for (int q = 1; q <= 22; ++q) {
+      ratios.push_back(runtimes.at(q).at(p.name) / paper[q - 1]);
+    }
+    auto mm = std::minmax_element(ratios.begin(), ratios.end());
+    cmp.AddRow({p.name,
+                TablePrinter::Fixed(wimpi::analysis::Median(ratios), 2),
+                TablePrinter::Fixed(*mm.first, 2),
+                TablePrinter::Fixed(*mm.second, 2)});
+  }
+  cmp.Print(std::cout);
+
+  // --- Figure 3 (left): speedups over the Pi ---
+  std::cout << "\nFIGURE 3 (left): speedup of each comparison point over the "
+               "Pi 3B+ at SF 1\n";
+  TablePrinter fig3({"Name", "median speedup", "min", "max",
+                     "paper median"});
+  for (const auto& p : wimpi::hw::AllProfiles()) {
+    if (p.name == "pi3b+") continue;
+    std::vector<double> speedups, paper_speedups;
+    for (int q = 1; q <= 22; ++q) {
+      speedups.push_back(runtimes.at(q).at("pi3b+") /
+                         runtimes.at(q).at(p.name));
+      paper_speedups.push_back(PaperTable2().at("pi3b+")[q - 1] /
+                               PaperTable2().at(p.name)[q - 1]);
+    }
+    auto mm = std::minmax_element(speedups.begin(), speedups.end());
+    fig3.AddRow({p.name,
+                 TablePrinter::Multiplier(wimpi::analysis::Median(speedups)),
+                 TablePrinter::Multiplier(*mm.first),
+                 TablePrinter::Multiplier(*mm.second),
+                 TablePrinter::Multiplier(
+                     wimpi::analysis::Median(paper_speedups))});
+  }
+  fig3.Print(std::cout);
+  std::cout << "Paper headline: the Pi is on average ~10x slower at SF 1; "
+               "median relative performance 0.1-0.3x; worst on the "
+               "memory-bound Q1.\n";
+
+  // Per-query Pi relative performance (the paper's Q1-worst / Q11-best
+  // observation).
+  double worst = 1e9, best = 0;
+  int worst_q = 0, best_q = 0;
+  for (int q = 1; q <= 22; ++q) {
+    const double rel =
+        runtimes.at(q).at("op-e5") / runtimes.at(q).at("pi3b+");
+    if (rel < worst) {
+      worst = rel;
+      worst_q = q;
+    }
+    if (rel > best) {
+      best = rel;
+      best_q = q;
+    }
+  }
+  std::printf(
+      "Pi relative to op-e5: best on Q%d (%.2fx), worst on Q%d (%.2fx); "
+      "paper: best Q11/Q16-class queries, worst Q1.\n",
+      best_q, best, worst_q, worst);
+  return 0;
+}

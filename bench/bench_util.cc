@@ -1,0 +1,59 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi::bench {
+
+engine::Database LoadDb(double physical_sf, uint64_t seed) {
+  std::fprintf(stderr, "[bench] generating TPC-H at physical SF %.3g ...\n",
+               physical_sf);
+  const auto start = std::chrono::steady_clock::now();
+  tpch::GenOptions opts;
+  opts.scale_factor = physical_sf;
+  opts.seed = seed;
+  engine::Database db = tpch::GenerateDatabase(opts);
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  std::fprintf(stderr, "[bench] generated in %.1fs (%lld lineitem rows)\n",
+               s,
+               static_cast<long long>(db.table("lineitem").num_rows()));
+  return db;
+}
+
+std::map<int, exec::QueryStats> CollectQueryStats(
+    const engine::Database& db, double scale,
+    const std::vector<int>& queries) {
+  std::map<int, exec::QueryStats> out;
+  for (const int q : queries) {
+    exec::QueryStats stats;
+    tpch::RunQuery(q, db, &stats);
+    stats.Scale(scale);
+    out[q] = std::move(stats);
+  }
+  return out;
+}
+
+std::map<int, std::map<std::string, double>> ModelRuntimes(
+    const std::map<int, exec::QueryStats>& stats,
+    const hw::CostModel& model) {
+  std::map<int, std::map<std::string, double>> out;
+  for (const auto& [q, s] : stats) {
+    for (const auto& p : hw::AllProfiles()) {
+      out[q][p.name] = model.QuerySeconds(p, s);
+    }
+  }
+  return out;
+}
+
+std::vector<int> AllQueryNumbers() {
+  std::vector<int> qs;
+  for (int q = 1; q <= 22; ++q) qs.push_back(q);
+  return qs;
+}
+
+}  // namespace wimpi::bench

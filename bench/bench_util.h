@@ -1,0 +1,32 @@
+#ifndef WIMPI_BENCH_BENCH_UTIL_H_
+#define WIMPI_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/counters.h"
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+
+namespace wimpi::bench {
+
+// Generates a TPC-H database at `physical_sf`, logging progress to stderr.
+engine::Database LoadDb(double physical_sf, uint64_t seed = 19921201);
+
+// Executes each listed query once against `db`, scales the recorded work
+// counters by `scale` (model SF / physical SF), and returns them.
+std::map<int, exec::QueryStats> CollectQueryStats(
+    const engine::Database& db, double scale, const std::vector<int>& queries);
+
+// Modeled runtime of each (query, profile) pair using all threads.
+std::map<int, std::map<std::string, double>> ModelRuntimes(
+    const std::map<int, exec::QueryStats>& stats, const hw::CostModel& model);
+
+// All 22 query numbers.
+std::vector<int> AllQueryNumbers();
+
+}  // namespace wimpi::bench
+
+#endif  // WIMPI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// WIMPI cluster scaling: how a distributed TPC-H query behaves as Pi nodes
+// are added, and why the paper's hand-written driver (local joins + partial
+// aggregation) beats the naive plan that ships raw rows to one node.
+//
+//   ./examples/cluster_scaling [--query 1] [--sf 0.05] [--model-sf 10]
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/partials.h"
+#include "cluster/wimpi_cluster.h"
+#include "common/cli.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  const int query = static_cast<int>(cli.GetInt("query", 1));
+  const double sf = cli.GetDouble("sf", 0.05);
+  const double model_sf = cli.GetDouble("model-sf", 10.0);
+
+  if (!wimpi::tpch::InSf10Subset(query)) {
+    std::printf("query must be one of 1,3,4,5,6,13,14,19\n");
+    return 1;
+  }
+
+  wimpi::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  const wimpi::engine::Database db = wimpi::tpch::GenerateDatabase(gen);
+  const wimpi::hw::CostModel model;
+
+  std::printf("Q%d on WIMPI at modeled SF %g:\n", query, model_sf);
+  std::printf("%6s %12s %12s %12s %12s %14s\n", "nodes", "total(s)",
+              "node work", "network", "merge", "working set");
+  for (const int nodes : {2, 4, 8, 12, 16, 20, 24}) {
+    wimpi::cluster::ClusterOptions opts;
+    opts.num_nodes = nodes;
+    opts.sf_scale = model_sf / sf;
+    const wimpi::cluster::WimpiCluster wimpi(db, opts);
+    const auto run = wimpi.Run(query, model);
+    std::printf("%6d %12.3f %12.3f %12.3f %12.3f %11.2f MB\n", nodes,
+                run.total_seconds, run.max_node_seconds,
+                run.network_seconds, run.merge_seconds,
+                run.max_working_set_bytes / 1e6);
+  }
+
+  // The paper's §III-C3 anecdote: MonetDB's built-in distributed planner
+  // shipped large intermediates to a single node, grinding the cluster to
+  // a halt; their simple driver merged partial aggregates instead. Compare
+  // the network volumes of the two plans at 24 nodes.
+  wimpi::cluster::ClusterOptions opts;
+  opts.num_nodes = 24;
+  opts.sf_scale = model_sf / sf;
+  const wimpi::cluster::WimpiCluster wimpi(db, opts);
+  const auto run = wimpi.Run(query, model);
+
+  // Naive plan: every node ships its filtered lineitem rows (the join
+  // inputs) instead of partial aggregates.
+  double naive_bytes = 0;
+  {
+    // Approximate: the scan output bytes of each node's partial stats are
+    // what the naive plan would put on the wire.
+    for (int i = 0; i < 24; ++i) {
+      wimpi::exec::QueryStats stats;
+      wimpi::cluster::RunPartial(query, wimpi.node_db(i), &stats);
+      stats.Scale(opts.sf_scale);
+      for (const auto& op : stats.ops) {
+        if (op.op.rfind("gather", 0) == 0) naive_bytes += op.output_bytes;
+      }
+    }
+  }
+  const double naive_net_s = wimpi.NetworkSeconds(naive_bytes, 24);
+  std::printf(
+      "\nDriver comparison at 24 nodes (paper §III-C3):\n"
+      "  partial-aggregate driver : %10.2f MB on the wire, %8.3f s\n"
+      "  naive ship-rows plan     : %10.2f MB on the wire, %8.3f s "
+      "(%.0fx more traffic)\n",
+      run.network_bytes / 1e6, run.network_seconds, naive_bytes / 1e6,
+      naive_net_s, naive_bytes / std::max(run.network_bytes, 1.0));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Hardware advisor: given a nightly batch workload (a mix of TPC-H
+// queries), compare deployment options -- each server profile and WIMPI
+// cluster sizes -- on runtime, purchase cost, hourly cost, and energy, and
+// flag the cheapest option that meets a latency budget. This is the
+// decision the paper argues SBC clusters change.
+//
+//   ./examples/hardware_advisor [--sf 0.05] [--model-sf 10] [--budget-s 5]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "cluster/wimpi_cluster.h"
+#include "common/cli.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  const double sf = cli.GetDouble("sf", 0.05);
+  const double model_sf = cli.GetDouble("model-sf", 10.0);
+  const double budget_s = cli.GetDouble("budget-s", 5.0);
+
+  // The batch: the paper's eight representative queries, once each.
+  const std::vector<int> workload = {1, 3, 4, 5, 6, 13, 14, 19};
+
+  wimpi::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  const wimpi::engine::Database db = wimpi::tpch::GenerateDatabase(gen);
+  const wimpi::hw::CostModel model;
+
+  struct Option {
+    std::string name;
+    double runtime_s = 0;
+    double purchase_usd = -1;
+    double hourly_usd = -1;
+    double energy_j = -1;
+  };
+  std::vector<Option> options;
+
+  // Server options (modeled single-node runs at the target SF).
+  for (const auto& p : wimpi::hw::AllProfiles()) {
+    if (p.name == "pi3b+") continue;
+    Option o;
+    o.name = p.name;
+    for (const int q : workload) {
+      wimpi::exec::QueryStats stats;
+      wimpi::tpch::RunQuery(q, db, &stats);
+      stats.Scale(model_sf / sf);
+      o.runtime_s += model.QuerySeconds(p, stats);
+    }
+    o.purchase_usd = wimpi::analysis::ServerMsrp(p);
+    o.hourly_usd = wimpi::analysis::ServerHourly(p);
+    o.energy_j = wimpi::analysis::ServerEnergyJoules(p, o.runtime_s);
+    options.push_back(o);
+  }
+
+  // WIMPI options.
+  for (const int nodes : {8, 16, 24}) {
+    wimpi::cluster::ClusterOptions copts;
+    copts.num_nodes = nodes;
+    copts.sf_scale = model_sf / sf;
+    const wimpi::cluster::WimpiCluster wimpi(db, copts);
+    Option o;
+    o.name = "wimpi-" + std::to_string(nodes);
+    for (const int q : workload) {
+      o.runtime_s += wimpi.Run(q, model).total_seconds;
+    }
+    o.purchase_usd = wimpi::analysis::PiClusterMsrp(nodes);
+    o.hourly_usd = wimpi::analysis::PiClusterHourly(nodes);
+    o.energy_j = wimpi::analysis::PiClusterEnergyJoules(nodes, o.runtime_s);
+    options.push_back(o);
+  }
+
+  std::printf("Batch of %zu queries at SF %g, latency budget %.1f s:\n\n",
+              workload.size(), model_sf, budget_s);
+  std::printf("%-14s %10s %12s %12s %12s %8s\n", "option", "runtime",
+              "purchase $", "$/hour", "energy (J)", "fits?");
+  const Option* best = nullptr;
+  for (const auto& o : options) {
+    const bool fits = o.runtime_s <= budget_s;
+    auto fmt = [](double v, const char* unit) {
+      static char buf[32];
+      if (v < 0) {
+        std::snprintf(buf, sizeof(buf), "n/a");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.4g%s", v, unit);
+      }
+      return std::string(buf);
+    };
+    std::printf("%-14s %9.2fs %12s %12s %12s %8s\n", o.name.c_str(),
+                o.runtime_s, fmt(o.purchase_usd, "").c_str(),
+                fmt(o.hourly_usd, "").c_str(), fmt(o.energy_j, "").c_str(),
+                fits ? "yes" : "no");
+    if (fits && o.purchase_usd > 0 &&
+        (best == nullptr || o.purchase_usd < best->purchase_usd)) {
+      best = &o;
+    }
+  }
+  if (best != nullptr) {
+    std::printf(
+        "\nCheapest (by purchase price, where public) option within the "
+        "budget: %s ($%.0f)\n",
+        best->name.c_str(), best->purchase_usd);
+  } else {
+    std::printf("\nNo option with a public purchase price fits the "
+                "budget.\n");
+  }
+  return 0;
+}

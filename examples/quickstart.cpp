@@ -1,0 +1,58 @@
+// Quickstart: generate a small TPC-H database, run two queries on the
+// in-memory columnar engine, inspect the recorded work counters, and
+// project runtimes onto the paper's hardware comparison points.
+//
+//   ./examples/quickstart [--sf 0.05]
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.h"
+#include "engine/query_result.h"
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  const double sf = cli.GetDouble("sf", 0.05);
+
+  // 1. Generate data (deterministic; same options => identical database).
+  wimpi::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  const wimpi::engine::Database db = wimpi::tpch::GenerateDatabase(gen);
+  std::printf("Generated TPC-H SF %g: %lld lineitem rows, %.1f MB\n\n", sf,
+              static_cast<long long>(db.table("lineitem").num_rows()),
+              db.MemoryBytes() / 1e6);
+
+  // 2. Run Q6 (a selective scan) and print the result.
+  wimpi::exec::QueryStats q6_stats;
+  const wimpi::exec::Relation q6 = wimpi::tpch::RunQuery(6, db, &q6_stats);
+  std::printf("Q6 revenue: %s\n", wimpi::engine::FormatRow(q6, 0).c_str());
+
+  // 3. Run Q1 (a heavy aggregation) and print all group rows.
+  wimpi::exec::QueryStats q1_stats;
+  const wimpi::exec::Relation q1 = wimpi::tpch::RunQuery(1, db, &q1_stats);
+  std::printf("\nQ1 (%lld groups):\n",
+              static_cast<long long>(q1.num_rows()));
+  for (const auto& row : wimpi::engine::FormatRelation(q1)) {
+    std::printf("  %s\n", row.c_str());
+  }
+
+  // 4. Inspect the work counters the engine recorded.
+  std::printf("\nQ1 recorded work: %.1fM compute ops, %.1f MB streamed, "
+              "%.1fK random accesses across %zu operators\n",
+              q1_stats.TotalComputeOps() / 1e6,
+              q1_stats.TotalSeqBytes() / 1e6,
+              q1_stats.TotalRandCount() / 1e3, q1_stats.ops.size());
+
+  // 5. Project the same execution onto the paper's hardware.
+  const wimpi::hw::CostModel model;
+  std::printf("\nModeled Q1 runtime at this scale factor:\n");
+  for (const char* name : {"pi3b+", "op-e5", "op-gold", "c6g.metal"}) {
+    const auto& p = wimpi::hw::ProfileByName(name);
+    std::printf("  %-10s %7.4f s\n", name,
+                model.QuerySeconds(p, q1_stats));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wimpi::analysis {
+
+namespace {
+// A single Raspberry Pi 3B+: $35 board, 5.1 W max draw, $0.0004/h at the
+// US national average electricity price (paper Table I).
+constexpr double kPiMsrp = 35.0;
+constexpr double kPiHourly = 0.0004;
+constexpr double kPiWatts = 5.1;
+}  // namespace
+
+double ServerMsrp(const hw::HardwareProfile& p) {
+  if (p.msrp_usd < 0) return -1;
+  return p.msrp_usd * p.sockets;
+}
+
+double PiClusterMsrp(int nodes) { return kPiMsrp * nodes; }
+
+double ServerHourly(const hw::HardwareProfile& p) { return p.hourly_usd; }
+
+double PiClusterHourly(int nodes) { return kPiHourly * nodes; }
+
+double ServerEnergyJoules(const hw::HardwareProfile& p, double seconds) {
+  if (p.tdp_watts < 0) return -1;
+  return p.tdp_watts * seconds;
+}
+
+double PiClusterEnergyJoules(int nodes, double seconds) {
+  return kPiWatts * nodes * seconds;
+}
+
+double Improvement(double server_runtime_s, double server_metric,
+                   double pi_runtime_s, double pi_metric) {
+  WIMPI_CHECK_GT(pi_runtime_s, 0.0);
+  WIMPI_CHECK_GT(pi_metric, 0.0);
+  return (server_runtime_s * server_metric) / (pi_runtime_s * pi_metric);
+}
+
+double Median(std::vector<double> values) {
+  WIMPI_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace wimpi::analysis

@@ -1,0 +1,46 @@
+#ifndef WIMPI_ANALYSIS_METRICS_H_
+#define WIMPI_ANALYSIS_METRICS_H_
+
+#include <vector>
+
+#include "hw/profile.h"
+
+namespace wimpi::analysis {
+
+// Cost and energy normalizations from Section III of the paper. All
+// follow the paper's methodology exactly: servers are charged only for
+// their CPUs (MSRP doubled for dual-socket machines, TDP per CPU), the Pi
+// is charged for the whole board -- deliberately pessimistic for the Pi.
+
+// Total CPU MSRP of a server ($; msrp x sockets). < 0 when unavailable.
+double ServerMsrp(const hw::HardwareProfile& p);
+
+// MSRP of an n-node Raspberry Pi 3B+ cluster ($35 per node).
+double PiClusterMsrp(int nodes);
+
+// Hourly cost ($/h). < 0 when unavailable.
+double ServerHourly(const hw::HardwareProfile& p);
+
+// Hourly electricity cost of an n-node Pi cluster (max draw x US average
+// $/kWh, the paper's estimate of $0.0004/h per node).
+double PiClusterHourly(int nodes);
+
+// Energy in joules for a query of `seconds` (TDP-based, CPU only for
+// servers; whole board for the Pi).
+double ServerEnergyJoules(const hw::HardwareProfile& p, double seconds);
+double PiClusterEnergyJoules(int nodes, double seconds);
+
+// The paper's normalized-improvement factor: how much better the Pi
+// configuration is once runtimes are weighted by the metric. > 1 means the
+// Pi side wins; the break-even line in Figures 5-7 is 1.0.
+//   improvement = (server_runtime x server_metric) /
+//                 (pi_runtime x pi_metric)
+double Improvement(double server_runtime_s, double server_metric,
+                   double pi_runtime_s, double pi_metric);
+
+// Median of a non-empty vector (used for the paper's median speedups).
+double Median(std::vector<double> values);
+
+}  // namespace wimpi::analysis
+
+#endif  // WIMPI_ANALYSIS_METRICS_H_

@@ -1,0 +1,44 @@
+#include "analysis/power.h"
+
+#include <algorithm>
+
+namespace wimpi::analysis {
+
+namespace {
+constexpr double kServerIdleFraction = 0.45;  // of TDP, CPU package
+constexpr double kPiActiveWatts = 5.1;
+constexpr double kPiIdleWatts = 1.9;
+}  // namespace
+
+PowerState ServerPower(const hw::HardwareProfile& p) {
+  if (p.tdp_watts < 0) return {-1, -1};
+  return {p.tdp_watts, p.tdp_watts * kServerIdleFraction};
+}
+
+PowerState PiNodePower() { return {kPiActiveWatts, kPiIdleWatts}; }
+
+double ServerDutyCycleEnergy(const hw::HardwareProfile& p, double period_s,
+                             double busy_fraction) {
+  const PowerState s = ServerPower(p);
+  if (s.active_watts < 0) return -1;
+  return period_s * (busy_fraction * s.active_watts +
+                     (1 - busy_fraction) * s.idle_watts);
+}
+
+double PiClusterDutyCycleEnergy(int nodes, double period_s,
+                                double busy_fraction,
+                                int nodes_off_when_idle) {
+  const PowerState s = PiNodePower();
+  const int idle_nodes = std::max(0, nodes - nodes_off_when_idle);
+  const double active_j = busy_fraction * period_s * nodes * s.active_watts;
+  const double idle_j =
+      (1 - busy_fraction) * period_s * idle_nodes * s.idle_watts;
+  return active_j + idle_j;
+}
+
+double EnergyProportionality(const PowerState& s) {
+  if (s.active_watts <= 0) return 0;
+  return 1.0 - s.idle_watts / s.active_watts;
+}
+
+}  // namespace wimpi::analysis

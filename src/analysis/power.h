@@ -1,0 +1,42 @@
+#ifndef WIMPI_ANALYSIS_POWER_H_
+#define WIMPI_ANALYSIS_POWER_H_
+
+// Idle power and energy proportionality (paper §III-B2): servers draw a
+// large fraction of peak power while idle; Raspberry Pi nodes are nearly
+// energy-proportional and can be switched off individually.
+
+#include "hw/profile.h"
+
+namespace wimpi::analysis {
+
+struct PowerState {
+  double active_watts = 0;
+  double idle_watts = 0;
+};
+
+// Active/idle draw for a server profile (CPU-only, per the paper's
+// methodology): idle modeled as a fraction of TDP (Xeons idle around
+// 30-50% of TDP once uncore/DRAM are powered). Returns negative watts when
+// the profile publishes no TDP.
+PowerState ServerPower(const hw::HardwareProfile& p);
+
+// Active/idle draw of one Pi 3B+: 5.1 W max, ~1.9 W idle (measured values
+// commonly reported for the 3B+), ~0 W when powered off.
+PowerState PiNodePower();
+
+// Energy in joules for a duty-cycled workload: `busy_fraction` of
+// `period_s` at active power, the rest idle. For the Pi cluster,
+// `nodes_off` nodes are fully powered down during idle (the fine-grained
+// resource control the paper highlights).
+double ServerDutyCycleEnergy(const hw::HardwareProfile& p, double period_s,
+                             double busy_fraction);
+double PiClusterDutyCycleEnergy(int nodes, double period_s,
+                                double busy_fraction, int nodes_off_when_idle);
+
+// Energy proportionality index in [0,1]: 1 means power scales perfectly
+// with load (idle draw 0), 0 means idle draw equals active draw.
+double EnergyProportionality(const PowerState& s);
+
+}  // namespace wimpi::analysis
+
+#endif  // WIMPI_ANALYSIS_POWER_H_

@@ -1,0 +1,362 @@
+#include "cluster/partials.h"
+
+#include "common/date.h"
+#include "tpch/queries.h"
+#include "tpch/query_utils.h"
+
+namespace wimpi::cluster {
+
+using engine::Database;
+using tpch::AggFn;
+using tpch::AggSpec;
+using tpch::CmpOp;
+using tpch::Cols;
+using tpch::ColumnSource;
+using tpch::JoinGather;
+using tpch::JoinKind;
+using tpch::Predicate;
+using tpch::QueryStats;
+using tpch::Relation;
+using tpch::ScanAll;
+using tpch::ScanGather;
+using tpch::SelVec;
+
+namespace {
+
+void AddRevenue(Relation* r, const std::string& name, QueryStats* stats) {
+  auto one_minus = exec::ConstMinusF64(1.0, r->column("l_discount"), stats);
+  r->AddColumn(name,
+               exec::MulF64(r->column("l_extendedprice"), *one_minus, stats));
+}
+
+Relation ScalarF64(const std::string& name, double v) {
+  auto col = std::make_unique<storage::Column>(storage::DataType::kFloat64);
+  col->AppendFloat64(v);
+  Relation r;
+  r.AddColumn(name, std::move(col));
+  return r;
+}
+
+}  // namespace
+
+bool QueryFansOut(int q) { return tpch::InSf10Subset(q) && q != 13; }
+
+Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats) {
+  WIMPI_CHECK(!parts.empty());
+  Relation out;
+  const Relation& first = parts[0];
+  double bytes = 0;
+  for (int c = 0; c < first.num_columns(); ++c) {
+    const auto& proto = first.column(c);
+    auto col = proto.dict() != nullptr
+                   ? std::make_unique<storage::Column>(proto.type(),
+                                                       proto.dict())
+                   : std::make_unique<storage::Column>(proto.type());
+    for (const Relation& part : parts) {
+      const auto& src = part.column(c);
+      WIMPI_CHECK(src.type() == proto.type());
+      WIMPI_CHECK(src.dict() == proto.dict())
+          << "concat requires shared dictionaries";
+      const int64_t n = src.size();
+      switch (src.type()) {
+        case storage::DataType::kInt64:
+          col->MutableI64().insert(col->MutableI64().end(), src.I64Data(),
+                                   src.I64Data() + n);
+          break;
+        case storage::DataType::kFloat64:
+          col->MutableF64().insert(col->MutableF64().end(), src.F64Data(),
+                                   src.F64Data() + n);
+          break;
+        default:
+          col->MutableI32().insert(col->MutableI32().end(), src.I32Data(),
+                                   src.I32Data() + n);
+          break;
+      }
+      bytes += static_cast<double>(n) * storage::TypeWidth(src.type());
+    }
+    out.AddColumn(first.name(c), std::move(col));
+  }
+  if (stats != nullptr) {
+    exec::OpStats op;
+    op.op = "concat_partials";
+    op.seq_bytes = 2 * bytes;
+    op.output_bytes = bytes;
+    op.compute_ops = bytes / 8;
+    op.parallel_fraction = 0.0;  // coordinator-side, single stream
+    stats->Add(std::move(op));
+    stats->TrackAlloc(bytes);
+  }
+  return out;
+}
+
+// ---------- Partial plans ----------
+
+namespace {
+
+Relation PartialQ1(const Database& db, QueryStats* stats) {
+  Relation r = ScanGather(
+      db.table("lineitem"),
+      {Predicate::CmpDate("l_shipdate", CmpOp::kLe,
+                          ParseDate("1998-12-01") - 90)},
+      {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+       "l_discount", "l_tax"},
+      stats);
+  auto one_minus = exec::ConstMinusF64(1.0, r.column("l_discount"), stats);
+  auto disc_price =
+      exec::MulF64(r.column("l_extendedprice"), *one_minus, stats);
+  auto one_plus = exec::ConstPlusF64(1.0, r.column("l_tax"), stats);
+  auto charge = exec::MulF64(*disc_price, *one_plus, stats);
+  r.AddColumn("disc_price", std::move(disc_price));
+  r.AddColumn("charge", std::move(charge));
+  // Decomposed aggregates: ship sums + counts so the coordinator can
+  // recombine exactly (avg = sum/count).
+  return exec::HashAggregate(ColumnSource(r),
+                             {"l_returnflag", "l_linestatus"},
+                             {{AggFn::kSum, "l_quantity", "sum_qty"},
+                              {AggFn::kSum, "l_extendedprice", "sum_base_price"},
+                              {AggFn::kSum, "disc_price", "sum_disc_price"},
+                              {AggFn::kSum, "charge", "sum_charge"},
+                              {AggFn::kSum, "l_discount", "sum_disc"},
+                              {AggFn::kCountStar, "", "count_order"}},
+                             stats);
+}
+
+Relation MergeQ1(std::vector<Relation> partials, QueryStats* stats) {
+  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation agg = exec::HashAggregate(
+      ColumnSource(all), {"l_returnflag", "l_linestatus"},
+      {{AggFn::kSum, "sum_qty", "sum_qty"},
+       {AggFn::kSum, "sum_base_price", "sum_base_price"},
+       {AggFn::kSum, "sum_disc_price", "sum_disc_price"},
+       {AggFn::kSum, "sum_charge", "sum_charge"},
+       {AggFn::kSum, "sum_disc", "sum_disc"},
+       {AggFn::kSumI64, "count_order", "count_order"}},
+      stats);
+  auto countf = exec::CastF64(agg.column("count_order"), stats);
+  Relation out;
+  out.AddColumn("l_returnflag", agg.TakeColumn(0));
+  out.AddColumn("l_linestatus", agg.TakeColumn(1));
+  out.AddColumn("sum_qty", agg.TakeColumn(2));
+  out.AddColumn("sum_base_price", agg.TakeColumn(3));
+  out.AddColumn("sum_disc_price", agg.TakeColumn(4));
+  out.AddColumn("sum_charge", agg.TakeColumn(5));
+  out.AddColumn("avg_qty", exec::DivF64(out.column("sum_qty"), *countf, stats));
+  out.AddColumn("avg_price",
+                exec::DivF64(out.column("sum_base_price"), *countf, stats));
+  auto sum_disc = agg.TakeColumn(6);
+  out.AddColumn("avg_disc", exec::DivF64(*sum_disc, *countf, stats));
+  out.AddColumn("count_order", agg.TakeColumn(7));
+  return exec::SortRelation(
+      out, {{"l_returnflag", true}, {"l_linestatus", true}}, stats);
+}
+
+Relation PartialQ3(const Database& db, QueryStats* stats) {
+  const int32_t cutoff = ParseDate("1995-03-15");
+  Relation cust = ScanGather(db.table("customer"),
+                             {Predicate::StrEq("c_mktsegment", "BUILDING")},
+                             {"c_custkey"}, stats);
+  Relation orders = ScanGather(
+      db.table("orders"),
+      {Predicate::CmpDate("o_orderdate", CmpOp::kLt, cutoff)},
+      {"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"}, stats);
+  Relation o2 = JoinGather(cust, {"c_custkey"}, {}, orders, {"o_custkey"},
+                           {"o_orderkey", "o_orderdate", "o_shippriority"},
+                           JoinKind::kSemi, stats);
+  Relation line = ScanGather(
+      db.table("lineitem"),
+      {Predicate::CmpDate("l_shipdate", CmpOp::kGt, cutoff)},
+      {"l_orderkey", "l_extendedprice", "l_discount"}, stats);
+  Relation j = JoinGather(o2, {"o_orderkey"},
+                          {"o_orderdate", "o_shippriority"}, line,
+                          {"l_orderkey"},
+                          {"l_orderkey", "l_extendedprice", "l_discount"},
+                          JoinKind::kInner, stats);
+  AddRevenue(&j, "rev", stats);
+  Relation agg = exec::HashAggregate(
+      ColumnSource(j), {"l_orderkey", "o_orderdate", "o_shippriority"},
+      {{AggFn::kSum, "rev", "revenue"}}, stats);
+  // Orders are partitioned by l_orderkey, so groups are disjoint across
+  // nodes: the node-local top 10 is sufficient for a correct global top 10.
+  return exec::SortRelation(agg, {{"revenue", false}, {"o_orderdate", true}},
+                            stats, 10);
+}
+
+Relation MergeQ3(std::vector<Relation> partials, QueryStats* stats) {
+  Relation all = ConcatRelations(std::move(partials), stats);
+  // Re-sort on (revenue, o_orderdate): column order is
+  // l_orderkey, o_orderdate, o_shippriority, revenue.
+  return exec::SortRelation(all, {{"revenue", false}, {"o_orderdate", true}},
+                            stats, 10);
+}
+
+Relation PartialQ4(const Database& db, QueryStats* stats) {
+  const storage::Table& l = db.table("lineitem");
+  const SelVec late = exec::FilterColCmpCol(
+      ColumnSource(l), "l_commitdate", CmpOp::kLt, "l_receiptdate", stats);
+  Relation lkeys = exec::GatherColumns(ColumnSource(l),
+                                       Cols({"l_orderkey"}), late, stats);
+  const int32_t lo = ParseDate("1993-07-01");
+  Relation orders = ScanGather(
+      db.table("orders"),
+      {Predicate::BetweenDate("o_orderdate", lo, DateAddMonths(lo, 3) - 1)},
+      {"o_orderkey", "o_orderpriority"}, stats);
+  Relation j = JoinGather(lkeys, {"l_orderkey"}, {}, orders, {"o_orderkey"},
+                          {"o_orderpriority"}, JoinKind::kSemi, stats);
+  return exec::HashAggregate(ColumnSource(j), {"o_orderpriority"},
+                             {{AggFn::kCountStar, "", "order_count"}},
+                             stats);
+}
+
+Relation MergeQ4(std::vector<Relation> partials, QueryStats* stats) {
+  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation agg = exec::HashAggregate(
+      ColumnSource(all), {"o_orderpriority"},
+      {{AggFn::kSumI64, "order_count", "order_count"}}, stats);
+  return exec::SortRelation(agg, {{"o_orderpriority", true}}, stats);
+}
+
+Relation PartialQ5(const Database& db, QueryStats* stats) {
+  const std::vector<int32_t> asia = tpch::NationKeysInRegion(db, "ASIA");
+  const int32_t lo = ParseDate("1994-01-01");
+  Relation cust =
+      ScanAll(db.table("customer"), {"c_custkey", "c_nationkey"}, stats);
+  Relation orders = ScanGather(
+      db.table("orders"),
+      {Predicate::BetweenDate("o_orderdate", lo, DateAddMonths(lo, 12) - 1)},
+      {"o_orderkey", "o_custkey"}, stats);
+  Relation j1 =
+      JoinGather(cust, {"c_custkey"}, {"c_nationkey"}, orders, {"o_custkey"},
+                 {"o_orderkey"}, JoinKind::kInner, stats);
+  Relation line =
+      ScanAll(db.table("lineitem"),
+              {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"},
+              stats);
+  Relation j2 = JoinGather(j1, {"o_orderkey"}, {"c_nationkey"}, line,
+                           {"l_orderkey"},
+                           {"l_suppkey", "l_extendedprice", "l_discount"},
+                           JoinKind::kInner, stats);
+  Relation supp = ScanGather(db.table("supplier"),
+                             {Predicate::InI32("s_nationkey", asia)},
+                             {"s_suppkey", "s_nationkey"}, stats);
+  Relation j3 = JoinGather(supp, {"s_suppkey", "s_nationkey"},
+                           {"s_nationkey"}, j2,
+                           {"l_suppkey", "c_nationkey"},
+                           {"l_extendedprice", "l_discount"},
+                           JoinKind::kInner, stats);
+  AddRevenue(&j3, "rev", stats);
+  return exec::HashAggregate(ColumnSource(j3), {"s_nationkey"},
+                             {{AggFn::kSum, "rev", "revenue"}}, stats);
+}
+
+Relation MergeQ5(const Database& coord_db, std::vector<Relation> partials,
+                 QueryStats* stats) {
+  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation agg = exec::HashAggregate(ColumnSource(all), {"s_nationkey"},
+                                     {{AggFn::kSum, "revenue", "revenue"}},
+                                     stats);
+  Relation nations =
+      ScanAll(coord_db.table("nation"), {"n_nationkey", "n_name"}, stats);
+  Relation named =
+      JoinGather(nations, {"n_nationkey"}, {"n_name"}, agg, {"s_nationkey"},
+                 {"revenue"}, JoinKind::kInner, stats);
+  return exec::SortRelation(named, {{"revenue", false}}, stats);
+}
+
+Relation PartialQ6(const Database& db, QueryStats* stats) {
+  const int32_t lo = ParseDate("1994-01-01");
+  Relation r = ScanGather(
+      db.table("lineitem"),
+      {Predicate::BetweenDate("l_shipdate", lo, DateAddMonths(lo, 12) - 1),
+       Predicate::BetweenF64("l_discount", 0.05, 0.07),
+       Predicate::CmpF64("l_quantity", CmpOp::kLt, 24)},
+      {"l_extendedprice", "l_discount"}, stats);
+  auto product =
+      exec::MulF64(r.column("l_extendedprice"), r.column("l_discount"),
+                   stats);
+  return ScalarF64("revenue", exec::SumF64(*product, stats));
+}
+
+Relation MergeScalarSum(const std::string& name,
+                        std::vector<Relation> partials, QueryStats* stats) {
+  Relation all = ConcatRelations(std::move(partials), stats);
+  return ScalarF64(name, exec::SumF64(all.column(name), stats));
+}
+
+Relation PartialQ14(const Database& db, QueryStats* stats) {
+  const int32_t lo = ParseDate("1995-09-01");
+  Relation line = ScanGather(
+      db.table("lineitem"),
+      {Predicate::BetweenDate("l_shipdate", lo, DateAddMonths(lo, 1) - 1)},
+      {"l_partkey", "l_extendedprice", "l_discount"}, stats);
+  Relation parts =
+      ScanAll(db.table("part"), {"p_partkey", "p_type"}, stats);
+  Relation j = JoinGather(parts, {"p_partkey"}, {"p_type"}, line,
+                          {"l_partkey"}, {"l_extendedprice", "l_discount"},
+                          JoinKind::kInner, stats);
+  AddRevenue(&j, "rev", stats);
+  const auto promo = exec::StrMatchMask(
+      j.column("p_type"),
+      [](std::string_view s) { return s.substr(0, 5) == "PROMO"; }, 3.0,
+      stats);
+  auto promo_rev = exec::MaskedF64(j.column("rev"), promo, stats);
+  Relation out;
+  auto pcol = std::make_unique<storage::Column>(storage::DataType::kFloat64);
+  pcol->AppendFloat64(exec::SumF64(*promo_rev, stats));
+  auto tcol = std::make_unique<storage::Column>(storage::DataType::kFloat64);
+  tcol->AppendFloat64(exec::SumF64(j.column("rev"), stats));
+  out.AddColumn("promo", std::move(pcol));
+  out.AddColumn("total", std::move(tcol));
+  return out;
+}
+
+Relation MergeQ14(std::vector<Relation> partials, QueryStats* stats) {
+  Relation all = ConcatRelations(std::move(partials), stats);
+  const double promo = exec::SumF64(all.column("promo"), stats);
+  const double total = exec::SumF64(all.column("total"), stats);
+  return ScalarF64("promo_revenue", total == 0 ? 0 : 100.0 * promo / total);
+}
+
+Relation PartialQ19(const Database& db, QueryStats* stats) {
+  // Same plan as the single-node Q19; the scalar revenue merges by sum.
+  exec::Relation r = tpch::RunQuery(19, db, stats);
+  return r;
+}
+
+}  // namespace
+
+Relation RunPartial(int q, const Database& node_db, QueryStats* stats) {
+  switch (q) {
+    case 1: return PartialQ1(node_db, stats);
+    case 3: return PartialQ3(node_db, stats);
+    case 4: return PartialQ4(node_db, stats);
+    case 5: return PartialQ5(node_db, stats);
+    case 6: return PartialQ6(node_db, stats);
+    case 13: return tpch::RunQuery(13, node_db, stats);  // single node
+    case 14: return PartialQ14(node_db, stats);
+    case 19: return PartialQ19(node_db, stats);
+    default:
+      WIMPI_CHECK(false) << "Q" << q << " is not in the distributed subset";
+      return Relation();
+  }
+}
+
+Relation MergePartials(int q, const Database& coord_db,
+                       std::vector<Relation> partials, QueryStats* stats) {
+  switch (q) {
+    case 1: return MergeQ1(std::move(partials), stats);
+    case 3: return MergeQ3(std::move(partials), stats);
+    case 4: return MergeQ4(std::move(partials), stats);
+    case 5: return MergeQ5(coord_db, std::move(partials), stats);
+    case 6: return MergeScalarSum("revenue", std::move(partials), stats);
+    case 13:
+      WIMPI_CHECK_EQ(partials.size(), 1u);
+      return std::move(partials[0]);
+    case 14: return MergeQ14(std::move(partials), stats);
+    case 19: return MergeScalarSum("revenue", std::move(partials), stats);
+    default:
+      WIMPI_CHECK(false) << "Q" << q << " is not in the distributed subset";
+      return Relation();
+  }
+}
+
+}  // namespace wimpi::cluster

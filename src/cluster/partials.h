@@ -1,0 +1,40 @@
+#ifndef WIMPI_CLUSTER_PARTIALS_H_
+#define WIMPI_CLUSTER_PARTIALS_H_
+
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/counters.h"
+#include "exec/relation.h"
+
+namespace wimpi::cluster {
+
+// Distributed execution of the paper's eight SF-10 queries, in the style of
+// the paper's hand-written driver: each node runs a partial plan against
+// its local lineitem partition (all other tables replicated), and the
+// coordinator merges partial results. Q13 never touches lineitem, so it
+// runs fully on a single node and the "partial" is already the answer --
+// exactly the behaviour Table III shows (no speedup at any cluster size).
+
+// True if `q` actually fans out (everything in the subset except Q13).
+bool QueryFansOut(int q);
+
+// Runs the partial plan for query `q` on one node's database.
+exec::Relation RunPartial(int q, const engine::Database& node_db,
+                          exec::QueryStats* stats);
+
+// Merges partial results on the coordinator (`coord_db` supplies small
+// replicated tables like nation). The merged relation equals the
+// single-node RunQuery output.
+exec::Relation MergePartials(int q, const engine::Database& coord_db,
+                             std::vector<exec::Relation> partials,
+                             exec::QueryStats* stats);
+
+// Concatenates relations with identical schemas (string columns must share
+// dictionaries, which holds for all partition/replica outputs).
+exec::Relation ConcatRelations(std::vector<exec::Relation> parts,
+                               exec::QueryStats* stats);
+
+}  // namespace wimpi::cluster
+
+#endif  // WIMPI_CLUSTER_PARTIALS_H_

@@ -1,0 +1,70 @@
+#include "cluster/partition.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace wimpi::cluster {
+
+std::vector<std::shared_ptr<storage::Table>> PartitionByKey(
+    const storage::Table& table, const std::string& key_column,
+    int num_parts) {
+  WIMPI_CHECK_GT(num_parts, 0);
+  const storage::Column& key = table.column(key_column);
+  WIMPI_CHECK(key.type() == storage::DataType::kInt64)
+      << "PartitionByKey expects an int64 key";
+
+  std::vector<std::shared_ptr<storage::Table>> parts;
+  parts.reserve(num_parts);
+  for (int p = 0; p < num_parts; ++p) {
+    parts.push_back(storage::NewTableLike(table, table.name()));
+  }
+
+  const int64_t n = table.num_rows();
+  const int64_t* keys = key.I64Data();
+  // Precompute each row's destination, then append column-by-column for
+  // cache friendliness.
+  std::vector<int32_t> dest(n);
+  for (int64_t i = 0; i < n; ++i) {
+    dest[i] = static_cast<int32_t>(
+        HashInt64(static_cast<uint64_t>(keys[i])) %
+        static_cast<uint64_t>(num_parts));
+  }
+
+  for (int c = 0; c < table.schema().num_fields(); ++c) {
+    const storage::Column& src = table.column(c);
+    switch (src.type()) {
+      case storage::DataType::kInt64: {
+        const int64_t* d = src.I64Data();
+        for (int64_t i = 0; i < n; ++i) {
+          parts[dest[i]]->column(c).AppendInt64(d[i]);
+        }
+        break;
+      }
+      case storage::DataType::kFloat64: {
+        const double* d = src.F64Data();
+        for (int64_t i = 0; i < n; ++i) {
+          parts[dest[i]]->column(c).AppendFloat64(d[i]);
+        }
+        break;
+      }
+      case storage::DataType::kString: {
+        const int32_t* d = src.I32Data();
+        for (int64_t i = 0; i < n; ++i) {
+          parts[dest[i]]->column(c).AppendCode(d[i]);
+        }
+        break;
+      }
+      default: {
+        const int32_t* d = src.I32Data();
+        for (int64_t i = 0; i < n; ++i) {
+          parts[dest[i]]->column(c).AppendInt32(d[i]);
+        }
+        break;
+      }
+    }
+  }
+  for (auto& p : parts) p->FinishLoad();
+  return parts;
+}
+
+}  // namespace wimpi::cluster

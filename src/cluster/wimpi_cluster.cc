@@ -1,0 +1,113 @@
+#include "cluster/wimpi_cluster.h"
+
+#include <algorithm>
+
+#include "cluster/partials.h"
+#include "cluster/partition.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi::cluster {
+
+WimpiCluster::WimpiCluster(const engine::Database& db,
+                           const ClusterOptions& opts)
+    : opts_(opts) {
+  WIMPI_CHECK_GT(opts.num_nodes, 0);
+  const auto parts =
+      PartitionByKey(db.table("lineitem"), "l_orderkey", opts.num_nodes);
+  node_dbs_.resize(opts.num_nodes);
+  for (int i = 0; i < opts.num_nodes; ++i) {
+    for (const auto& [name, table] : db.tables()) {
+      if (name == "lineitem") continue;
+      node_dbs_[i].AddTable(table);  // replicated (physically shared)
+    }
+    node_dbs_[i].AddTable(parts[i]);
+  }
+}
+
+double WimpiCluster::NetworkSeconds(double bytes, int n_senders) const {
+  return bytes * 8.0 / (opts_.node_net_mbps * 1e6) +
+         opts_.per_node_latency_s * n_senders;
+}
+
+double WimpiCluster::NodeLogicalBytes(double model_sf) const {
+  double replicated = 0;
+  for (const char* t : {"orders", "customer", "part", "partsupp", "supplier",
+                        "nation", "region"}) {
+    replicated += tpch::LogicalTableBytes(t, model_sf);
+  }
+  return replicated +
+         tpch::LogicalTableBytes("lineitem", model_sf) / opts_.num_nodes;
+}
+
+DistributedRun WimpiCluster::Run(int q, const hw::CostModel& model) const {
+  const hw::HardwareProfile& pi = hw::PiProfile();
+  const bool fan_out = QueryFansOut(q);
+  const int nodes = fan_out ? opts_.num_nodes : 1;
+
+  DistributedRun run;
+  run.nodes_used = nodes;
+
+  // Partial-result sizes that scale with data (per-group outputs like Q3's)
+  // are projected to the model SF; few-row aggregates are not.
+  auto scaled_bytes = [&](const exec::Relation& r) {
+    const double bytes = static_cast<double>(r.ValueBytes());
+    return r.num_rows() > 100 ? bytes * opts_.sf_scale : bytes;
+  };
+
+  std::vector<exec::Relation> partials;
+  partials.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    exec::QueryStats stats;
+    exec::Relation partial = RunPartial(q, node_dbs_[i], &stats);
+    stats.Scale(opts_.sf_scale);
+
+    double node_s =
+        model.WorkSeconds(pi, stats, opts_.threads_per_node);
+
+    // Memory-pressure model: when the touched working set exceeds node
+    // memory, the overshoot pages through the microSD card (the paper's
+    // thrashing failure mode, Section III-C4).
+    const double working_set =
+        stats.BaseTouchedBytes() + stats.peak_intermediate_bytes;
+    const double overshoot =
+        std::max(0.0, working_set - opts_.node_memory_bytes);
+    const double spill_s = overshoot * opts_.thrash_factor /
+                           (opts_.microsd_mbps * 1e6);
+    node_s += spill_s;
+
+    run.max_working_set_bytes =
+        std::max(run.max_working_set_bytes, working_set);
+    if (node_s > run.max_node_seconds) {
+      run.max_node_seconds = node_s;
+      run.spill_seconds = spill_s;
+    }
+    run.network_bytes += scaled_bytes(partial);
+    partials.push_back(std::move(partial));
+  }
+
+  // Network: every node ships its partial to the coordinator, whose
+  // receive link is the bottleneck.
+  run.network_seconds = fan_out ? NetworkSeconds(run.network_bytes, nodes)
+                                : 0.0;
+
+  // Merge on the coordinator (itself a Pi). Every merge in the distributed
+  // subset consumes per-node aggregates (at most tens of rows per node), so
+  // merge work does not scale with SF and is modeled unscaled.
+  exec::QueryStats merge_stats;
+  exec::Relation merged =
+      MergePartials(q, node_dbs_[0], std::move(partials), &merge_stats);
+  run.merge_seconds =
+      model.WorkSeconds(pi, merge_stats, opts_.threads_per_node);
+
+  // One query overhead (driver + plan setup) on the coordinator.
+  const double overhead_s =
+      model.QuerySeconds(pi, exec::QueryStats{}, 1);
+
+  run.total_seconds = overhead_s + run.max_node_seconds +
+                      run.network_seconds + run.merge_seconds;
+  run.result = std::move(merged);
+  return run;
+}
+
+}  // namespace wimpi::cluster

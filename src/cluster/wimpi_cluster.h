@@ -1,0 +1,78 @@
+#ifndef WIMPI_CLUSTER_WIMPI_CLUSTER_H_
+#define WIMPI_CLUSTER_WIMPI_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/relation.h"
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+
+namespace wimpi::cluster {
+
+// Configuration of the simulated WIMPI cluster (defaults follow the paper's
+// prototype: Raspberry Pi 3B+ nodes, 1 GB RAM, GbE limited to ~220 Mbps by
+// the shared USB bus, microSD-class storage behind disabled swap).
+struct ClusterOptions {
+  int num_nodes = 24;
+  double node_memory_bytes = 1024.0 * 1024 * 1024;
+  double node_net_mbps = 220.0;
+  double per_node_latency_s = 0.002;  // request/response round trip
+  double microsd_mbps = 15.0;         // effective microSD bandwidth
+  // Thrash multiplier: bytes of microSD traffic caused per byte of
+  // working-set overshoot (page evictions + reloads).
+  double thrash_factor = 1.0;
+  // Counter multiplier: model SF / physically executed SF. The queries run
+  // for real at the physical SF; counters and working sets are scaled to
+  // the modeled SF (see DESIGN.md §2).
+  double sf_scale = 1.0;
+  int threads_per_node = 4;
+};
+
+// Per-query result of a simulated distributed execution.
+struct DistributedRun {
+  exec::Relation result;        // equals the single-node query answer
+  double total_seconds = 0;     // simulated end-to-end time
+  double max_node_seconds = 0;  // slowest node's local work
+  double spill_seconds = 0;     // included in max_node_seconds
+  double network_seconds = 0;
+  double merge_seconds = 0;
+  double network_bytes = 0;
+  double max_working_set_bytes = 0;  // worst node's working set (scaled)
+  int nodes_used = 1;
+};
+
+// Simulated WIMPI cluster: lineitem is hash-partitioned on l_orderkey
+// across nodes, all other tables are fully replicated (physically shared in
+// host memory). Partial plans execute for real per node; the hardware model
+// converts each node's counters into simulated time, and the driver adds
+// the paper's network, merge, and memory-pressure effects.
+class WimpiCluster {
+ public:
+  WimpiCluster(const engine::Database& db, const ClusterOptions& opts);
+
+  const ClusterOptions& options() const { return opts_; }
+  int num_nodes() const { return opts_.num_nodes; }
+  const engine::Database& node_db(int i) const { return node_dbs_[i]; }
+
+  // Runs one of the eight distributed queries (Q13 uses a single node).
+  DistributedRun Run(int q, const hw::CostModel& model) const;
+
+  // Simulated seconds to ship `bytes` from `n_senders` nodes to the
+  // coordinator (receive-side 220 Mbps bottleneck + per-node latency).
+  double NetworkSeconds(double bytes, int n_senders) const;
+
+  // Logical per-node memory of base tables at the model scale factor
+  // (replicated tables + one lineitem partition), as WIMPI provisioning
+  // would see it.
+  double NodeLogicalBytes(double model_sf) const;
+
+ private:
+  ClusterOptions opts_;
+  std::vector<engine::Database> node_dbs_;
+};
+
+}  // namespace wimpi::cluster
+
+#endif  // WIMPI_CLUSTER_WIMPI_CLUSTER_H_

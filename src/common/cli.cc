@@ -1,0 +1,54 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace wimpi {
+
+CommandLine::CommandLine(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, 2) != "--") {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) !=
+                                   "--") {
+      flags_[std::string(arg)] = argv[++i];
+    } else {
+      flags_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace wimpi

@@ -1,0 +1,17 @@
+#include "common/decimal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wimpi {
+
+std::string Money::ToString() const {
+  const int64_t c = cents_;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%lld.%02lld", c < 0 ? "-" : "",
+                static_cast<long long>(std::llabs(c) / 100),
+                static_cast<long long>(std::llabs(c) % 100));
+  return buf;
+}
+
+}  // namespace wimpi

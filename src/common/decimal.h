@@ -1,0 +1,44 @@
+#ifndef WIMPI_COMMON_DECIMAL_H_
+#define WIMPI_COMMON_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wimpi {
+
+// Fixed-point money value with two fractional digits (cents), used by the
+// TPC-H generator so that prices are exact and deterministic. Query columns
+// store doubles (like MonetDB's floating-point execution of TPC-H); the
+// conversion happens at load time via ToDouble().
+class Money {
+ public:
+  constexpr Money() : cents_(0) {}
+  static constexpr Money FromCents(int64_t cents) { return Money(cents); }
+  static constexpr Money FromUnits(int64_t units) {
+    return Money(units * 100);
+  }
+
+  constexpr int64_t cents() const { return cents_; }
+  constexpr double ToDouble() const {
+    return static_cast<double>(cents_) / 100.0;
+  }
+
+  constexpr Money operator+(Money o) const { return Money(cents_ + o.cents_); }
+  constexpr Money operator-(Money o) const { return Money(cents_ - o.cents_); }
+  // Multiplies by an integer quantity (exact).
+  constexpr Money operator*(int64_t q) const { return Money(cents_ * q); }
+
+  constexpr bool operator==(const Money&) const = default;
+  constexpr auto operator<=>(const Money&) const = default;
+
+  // Formats as "-123.45".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Money(int64_t cents) : cents_(cents) {}
+  int64_t cents_;
+};
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_DECIMAL_H_

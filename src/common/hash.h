@@ -1,0 +1,45 @@
+#ifndef WIMPI_COMMON_HASH_H_
+#define WIMPI_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace wimpi {
+
+// 64-bit integer mix (Murmur3 finalizer). The primary hash used by the
+// engine's hash joins and aggregations; cheap and well distributed for the
+// integer keys that dominate TPC-H.
+inline uint64_t HashInt64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines two hashes (boost-style with a 64-bit constant).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (HashInt64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+// FNV-1a over arbitrary bytes; used for string keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_HASH_H_

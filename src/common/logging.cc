@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace wimpi {
+namespace {
+
+std::atomic<int> g_threshold{-1};
+
+LogLevel ThresholdFromEnv() {
+  const char* env = std::getenv("WIMPI_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= threshold() || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+LogLevel LogMessage::threshold() {
+  int t = g_threshold.load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = static_cast<int>(ThresholdFromEnv());
+    g_threshold.store(t, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(t);
+}
+
+void LogMessage::set_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace wimpi

@@ -1,0 +1,74 @@
+#ifndef WIMPI_COMMON_LOGGING_H_
+#define WIMPI_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wimpi {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+// Minimal leveled logger. A message is emitted to stderr when its level is
+// at or above the global threshold (default kInfo, override with the
+// WIMPI_LOG_LEVEL environment variable: debug/info/warning/error).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+namespace internal_logging {
+// Swallows the streamed expression when the log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+}  // namespace internal_logging
+
+#define WIMPI_LOG(level) \
+  ::wimpi::LogMessage(::wimpi::LogLevel::k##level, __FILE__, __LINE__)
+
+// CHECK macros terminate the process on failure; they guard invariants that
+// indicate programmer error, not data-dependent conditions.
+#define WIMPI_CHECK(cond)                                            \
+  if (!(cond))                                                       \
+  ::wimpi::LogMessage(::wimpi::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define WIMPI_CHECK_OK(expr)                                           \
+  do {                                                                 \
+    const ::wimpi::Status _wimpi_check_status = (expr);                \
+    if (!_wimpi_check_status.ok()) {                                   \
+      ::wimpi::LogMessage(::wimpi::LogLevel::kFatal, __FILE__,         \
+                          __LINE__)                                    \
+          << "Status not OK: " << _wimpi_check_status.ToString();      \
+    }                                                                  \
+  } while (0)
+
+#define WIMPI_CHECK_EQ(a, b) WIMPI_CHECK((a) == (b))
+#define WIMPI_CHECK_NE(a, b) WIMPI_CHECK((a) != (b))
+#define WIMPI_CHECK_LT(a, b) WIMPI_CHECK((a) < (b))
+#define WIMPI_CHECK_LE(a, b) WIMPI_CHECK((a) <= (b))
+#define WIMPI_CHECK_GT(a, b) WIMPI_CHECK((a) > (b))
+#define WIMPI_CHECK_GE(a, b) WIMPI_CHECK((a) >= (b))
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_LOGGING_H_

@@ -1,0 +1,105 @@
+#ifndef WIMPI_COMMON_STATUS_H_
+#define WIMPI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wimpi {
+
+// Error codes used across the library. Kept deliberately small: the engine
+// is an analytical prototype and most failures are programmer errors caught
+// by CHECKs; Status is reserved for data-dependent conditions (e.g. a node
+// running out of its memory budget).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfMemory,
+  kUnimplemented,
+  kInternal,
+};
+
+// A lightweight success-or-error value, modeled on absl::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfMemory(std::string m) {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kOutOfMemory:
+        return "OutOfMemory";
+      case StatusCode::kUnimplemented:
+        return "Unimplemented";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-Status result, modeled on absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : value_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const Status& status() const { return std::get<Status>(value_); }
+
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+#include "common/strings.h"
+
+namespace wimpi {
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  size_t v = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;  // position after last '%'
+  size_t star_v = 0;                       // value position to resume from
+
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == value[v])) {
+      ++p;
+      ++v;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = ++p;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool Contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace wimpi

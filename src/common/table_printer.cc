@@ -1,0 +1,81 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wimpi {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  WIMPI_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << cells[i] << std::string(widths[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      line(row);
+    }
+  }
+  rule();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+std::string TablePrinter::Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Multiplier(double v) {
+  char buf[64];
+  if (v >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", v);
+  } else if (v >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1fx", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  }
+  return buf;
+}
+
+}  // namespace wimpi

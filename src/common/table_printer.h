@@ -1,0 +1,37 @@
+#ifndef WIMPI_COMMON_TABLE_PRINTER_H_
+#define WIMPI_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wimpi {
+
+// Renders rows of strings as an aligned ASCII table; used by the benchmark
+// harnesses to print paper-style tables (Table I/II/III) and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Numeric formatting helpers for benchmark output.
+  static std::string Fixed(double v, int digits);
+  // "12.3x"-style multiplier with 3 significant-ish digits.
+  static std::string Multiplier(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_TABLE_PRINTER_H_

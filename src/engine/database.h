@@ -1,0 +1,60 @@
+#ifndef WIMPI_ENGINE_DATABASE_H_
+#define WIMPI_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace wimpi::engine {
+
+// A named collection of in-memory tables (the catalog). In the cluster
+// simulator each node owns one Database; replicated tables are shared
+// (shared_ptr) across nodes so host memory is not multiplied by the node
+// count, while each node's logical memory accounting still counts them.
+class Database {
+ public:
+  Database() = default;
+
+  void AddTable(std::shared_ptr<storage::Table> table) {
+    const std::string name = table->name();
+    tables_[name] = std::move(table);
+  }
+
+  const storage::Table& table(const std::string& name) const {
+    auto it = tables_.find(name);
+    WIMPI_CHECK(it != tables_.end()) << "no table '" << name << "'";
+    return *it->second;
+  }
+
+  std::shared_ptr<storage::Table> table_ptr(const std::string& name) const {
+    auto it = tables_.find(name);
+    WIMPI_CHECK(it != tables_.end()) << "no table '" << name << "'";
+    return it->second;
+  }
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  const std::map<std::string, std::shared_ptr<storage::Table>>& tables()
+      const {
+    return tables_;
+  }
+
+  // Sum of MemoryBytes over all tables (logical size of this catalog).
+  int64_t MemoryBytes() const {
+    int64_t b = 0;
+    for (const auto& [_, t] : tables_) b += t->MemoryBytes();
+    return b;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<storage::Table>> tables_;
+};
+
+}  // namespace wimpi::engine
+
+#endif  // WIMPI_ENGINE_DATABASE_H_

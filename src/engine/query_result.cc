@@ -1,0 +1,52 @@
+#include "engine/query_result.h"
+
+#include <cstdio>
+
+#include "common/date.h"
+
+namespace wimpi::engine {
+
+std::string FormatRow(const exec::Relation& rel, int64_t row,
+                      int double_digits) {
+  std::string out;
+  for (int c = 0; c < rel.num_columns(); ++c) {
+    if (c > 0) out += '|';
+    const auto& col = rel.column(c);
+    char buf[64];
+    switch (col.type()) {
+      case storage::DataType::kInt32:
+        std::snprintf(buf, sizeof(buf), "%d", col.I32Data()[row]);
+        out += buf;
+        break;
+      case storage::DataType::kInt64:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(col.I64Data()[row]));
+        out += buf;
+        break;
+      case storage::DataType::kFloat64:
+        std::snprintf(buf, sizeof(buf), "%.*f", double_digits,
+                      col.F64Data()[row]);
+        out += buf;
+        break;
+      case storage::DataType::kDate:
+        out += FormatDate(col.I32Data()[row]);
+        break;
+      case storage::DataType::kString:
+        out += std::string(col.StringAt(row));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> FormatRelation(const exec::Relation& rel,
+                                        int double_digits) {
+  std::vector<std::string> rows;
+  rows.reserve(rel.num_rows());
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    rows.push_back(FormatRow(rel, r, double_digits));
+  }
+  return rows;
+}
+
+}  // namespace wimpi::engine

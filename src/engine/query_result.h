@@ -1,0 +1,23 @@
+#ifndef WIMPI_ENGINE_QUERY_RESULT_H_
+#define WIMPI_ENGINE_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/relation.h"
+
+namespace wimpi::engine {
+
+// Renders a relation row as a '|'-separated string with doubles rounded to
+// `double_digits` decimals; used by tests to compare engine results against
+// reference implementations and by examples to print output.
+std::string FormatRow(const exec::Relation& rel, int64_t row,
+                      int double_digits = 2);
+
+// All rows, one string each.
+std::vector<std::string> FormatRelation(const exec::Relation& rel,
+                                        int double_digits = 2);
+
+}  // namespace wimpi::engine
+
+#endif  // WIMPI_ENGINE_QUERY_RESULT_H_

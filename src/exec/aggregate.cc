@@ -1,0 +1,320 @@
+#include "exec/aggregate.h"
+
+#include <bit>
+#include <limits>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace wimpi::exec {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+
+uint64_t ValueHash(const Column& col, int64_t row) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      return HashInt64(static_cast<uint64_t>(col.I64Data()[row]));
+    case DataType::kFloat64: {
+      double d = col.F64Data()[row];
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    default:
+      return HashInt64(
+          static_cast<uint64_t>(static_cast<uint32_t>(col.I32Data()[row])));
+  }
+}
+
+bool ValueEq(const Column& c, int64_t a, int64_t b) {
+  switch (c.type()) {
+    case DataType::kInt64:
+      return c.I64Data()[a] == c.I64Data()[b];
+    case DataType::kFloat64:
+      return c.F64Data()[a] == c.F64Data()[b];
+    default:
+      return c.I32Data()[a] == c.I32Data()[b];
+  }
+}
+
+double ValueAsF64(const Column& c, int64_t row) {
+  switch (c.type()) {
+    case DataType::kInt64:
+      return static_cast<double>(c.I64Data()[row]);
+    case DataType::kFloat64:
+      return c.F64Data()[row];
+    default:
+      return static_cast<double>(c.I32Data()[row]);
+  }
+}
+
+// Running state for one aggregate over all groups.
+struct AggState {
+  AggFn fn;
+  const Column* in = nullptr;  // null for kCountStar
+  std::vector<double> acc;     // sum / min / max
+  std::vector<int64_t> count;  // kCount/kCountStar/kAvg
+
+  void AddGroup() {
+    switch (fn) {
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        acc.push_back(0);
+        if (fn == AggFn::kAvg) count.push_back(0);
+        break;
+      case AggFn::kSumI64:
+        count.push_back(0);
+        break;
+      case AggFn::kMin:
+        acc.push_back(std::numeric_limits<double>::infinity());
+        break;
+      case AggFn::kMax:
+        acc.push_back(-std::numeric_limits<double>::infinity());
+        break;
+      case AggFn::kCount:
+      case AggFn::kCountStar:
+        count.push_back(0);
+        break;
+    }
+  }
+
+  void Update(int32_t g, int64_t row) {
+    switch (fn) {
+      case AggFn::kSum:
+        acc[g] += ValueAsF64(*in, row);
+        break;
+      case AggFn::kAvg:
+        acc[g] += ValueAsF64(*in, row);
+        ++count[g];
+        break;
+      case AggFn::kMin:
+        acc[g] = std::min(acc[g], ValueAsF64(*in, row));
+        break;
+      case AggFn::kMax:
+        acc[g] = std::max(acc[g], ValueAsF64(*in, row));
+        break;
+      case AggFn::kSumI64:
+        count[g] += in->type() == storage::DataType::kInt64
+                        ? in->I64Data()[row]
+                        : static_cast<int64_t>(in->I32Data()[row]);
+        break;
+      case AggFn::kCount:
+      case AggFn::kCountStar:
+        ++count[g];
+        break;
+    }
+  }
+};
+
+std::unique_ptr<Column> Finalize(const AggState& s, int64_t n_groups) {
+  switch (s.fn) {
+    case AggFn::kSum: {
+      auto col = std::make_unique<Column>(DataType::kFloat64);
+      col->MutableF64() = s.acc;
+      return col;
+    }
+    case AggFn::kAvg: {
+      auto col = std::make_unique<Column>(DataType::kFloat64);
+      auto& v = col->MutableF64();
+      v.resize(n_groups);
+      for (int64_t g = 0; g < n_groups; ++g) {
+        v[g] = s.count[g] == 0 ? 0 : s.acc[g] / static_cast<double>(s.count[g]);
+      }
+      return col;
+    }
+    case AggFn::kMin:
+    case AggFn::kMax: {
+      // Preserve the input type so downstream joins/sorts see the right
+      // representation (e.g. min(date) stays a date). String min/max is not
+      // supported (dictionary codes are not ordered); TPC-H never needs it.
+      const DataType t = s.in->type();
+      WIMPI_CHECK(t != DataType::kString) << "min/max over strings";
+      auto col = std::make_unique<Column>(t);
+      switch (t) {
+        case DataType::kInt64: {
+          auto& v = col->MutableI64();
+          v.resize(n_groups);
+          for (int64_t g = 0; g < n_groups; ++g) {
+            v[g] = static_cast<int64_t>(s.acc[g]);
+          }
+          break;
+        }
+        case DataType::kFloat64: {
+          col->MutableF64() = s.acc;
+          break;
+        }
+        default: {
+          auto& v = col->MutableI32();
+          v.resize(n_groups);
+          for (int64_t g = 0; g < n_groups; ++g) {
+            v[g] = static_cast<int32_t>(s.acc[g]);
+          }
+          break;
+        }
+      }
+      return col;
+    }
+    case AggFn::kSumI64:
+    case AggFn::kCount:
+    case AggFn::kCountStar: {
+      auto col = std::make_unique<Column>(DataType::kInt64);
+      col->MutableI64() = s.count;
+      return col;
+    }
+  }
+  WIMPI_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+Relation HashAggregate(const ColumnSource& src,
+                       const std::vector<std::string>& group_by,
+                       const std::vector<AggSpec>& aggs, QueryStats* stats) {
+  const int64_t n = src.rows();
+
+  std::vector<const Column*> keys;
+  keys.reserve(group_by.size());
+  for (const auto& name : group_by) keys.push_back(&src.column(name));
+
+  std::vector<AggState> states(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    states[i].fn = aggs[i].fn;
+    if (aggs[i].fn != AggFn::kCountStar) {
+      states[i].in = &src.column(aggs[i].in);
+    }
+  }
+
+  std::vector<int32_t> group_rep;  // first source row of each group
+  double chain_steps = 0;
+
+  if (keys.empty()) {
+    // Global aggregate: one group covering all rows.
+    for (auto& s : states) s.AddGroup();
+    for (int64_t row = 0; row < n; ++row) {
+      for (auto& s : states) s.Update(0, row);
+    }
+    group_rep.push_back(0);
+  } else {
+    const uint64_t n_buckets =
+        std::bit_ceil(static_cast<uint64_t>(std::max<int64_t>(n / 2, 16)));
+    const uint64_t mask = n_buckets - 1;
+    std::vector<int32_t> head(n_buckets, -1);
+    std::vector<int32_t> next;  // chains group ids
+
+    for (int64_t row = 0; row < n; ++row) {
+      uint64_t h = ValueHash(*keys[0], row);
+      for (size_t k = 1; k < keys.size(); ++k) {
+        h = HashCombine(h, ValueHash(*keys[k], row));
+      }
+      const uint64_t b = h & mask;
+      int32_t g = -1;
+      for (int32_t e = head[b]; e >= 0; e = next[e]) {
+        ++chain_steps;
+        bool eq = true;
+        for (const Column* key : keys) {
+          if (!ValueEq(*key, group_rep[e], row)) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          g = e;
+          break;
+        }
+      }
+      if (g < 0) {
+        g = static_cast<int32_t>(group_rep.size());
+        group_rep.push_back(static_cast<int32_t>(row));
+        next.push_back(head[b]);
+        head[b] = g;
+        for (auto& s : states) s.AddGroup();
+      }
+      for (auto& s : states) s.Update(g, row);
+    }
+  }
+
+  const auto n_groups = static_cast<int64_t>(group_rep.size());
+
+  Relation out;
+  // Group-key columns first (gathered representative values)...
+  if (!keys.empty()) {
+    SelVec sel(group_rep.begin(), group_rep.end());
+    for (size_t k = 0; k < keys.size(); ++k) {
+      out.AddColumn(group_by[k], Gather(*keys[k], sel, nullptr));
+    }
+  }
+  // ...then the aggregates.
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    out.AddColumn(aggs[i].out, Finalize(states[i], n_groups));
+  }
+
+  if (stats != nullptr) {
+    int key_width = 0;
+    for (const Column* k : keys) key_width += storage::TypeWidth(k->type());
+    int state_width = 0;
+    for (const auto& s : states) {
+      state_width += s.acc.empty() ? 0 : 8;
+      state_width += s.count.empty() ? 0 : 8;
+    }
+    const double table_bytes =
+        static_cast<double>(n_groups) * (key_width + state_width + 8) +
+        (keys.empty() ? 0.0 : static_cast<double>(n)) * 0;  // heads ~ groups*2
+    OpStats op;
+    op.op = "hash_aggregate";
+    op.compute_ops =
+        static_cast<double>(n) *
+            (cost::kHash * std::max<size_t>(keys.size(), 1) +
+             cost::kAggUpdate * static_cast<double>(aggs.size())) +
+        chain_steps * cost::kCompare;
+    op.seq_bytes = static_cast<double>(n) *
+                   (key_width + 8.0 * static_cast<double>(aggs.size()));
+    op.rand_count = keys.empty() ? 0 : static_cast<double>(n) + chain_steps;
+    op.rand_struct_bytes = table_bytes;
+    op.output_bytes =
+        static_cast<double>(n_groups) * (key_width + state_width);
+    stats->Add(std::move(op));
+    stats->TrackAlloc(table_bytes);
+  }
+  return out;
+}
+
+double SumF64(const Column& col, QueryStats* stats) {
+  const int64_t n = col.size();
+  double sum = 0;
+  const double* d = col.F64Data();
+  for (int64_t i = 0; i < n; ++i) sum += d[i];
+  if (stats != nullptr) {
+    OpStats op;
+    op.op = "sum_f64";
+    op.compute_ops = static_cast<double>(n) * cost::kArith;
+    op.seq_bytes = static_cast<double>(n) * 8;
+    stats->Add(std::move(op));
+  }
+  return sum;
+}
+
+double AvgF64(const Column& col, QueryStats* stats) {
+  const int64_t n = col.size();
+  if (n == 0) return 0;
+  return SumF64(col, stats) / static_cast<double>(n);
+}
+
+double MaxF64(const Column& col, QueryStats* stats) {
+  const int64_t n = col.size();
+  double m = -std::numeric_limits<double>::infinity();
+  const double* d = col.F64Data();
+  for (int64_t i = 0; i < n; ++i) m = std::max(m, d[i]);
+  if (stats != nullptr) {
+    OpStats op;
+    op.op = "max_f64";
+    op.compute_ops = static_cast<double>(n) * cost::kCompare;
+    op.seq_bytes = static_cast<double>(n) * 8;
+    stats->Add(std::move(op));
+  }
+  return m;
+}
+
+}  // namespace wimpi::exec

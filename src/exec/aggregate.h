@@ -1,0 +1,47 @@
+#ifndef WIMPI_EXEC_AGGREGATE_H_
+#define WIMPI_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/counters.h"
+#include "exec/filter.h"
+#include "exec/relation.h"
+
+namespace wimpi::exec {
+
+enum class AggFn {
+  kSum,        // double result
+  kSumI64,     // int64 result over int32/int64 input (distributed count
+               // merges must stay integral)
+  kMin,        // input type preserved
+  kMax,        // input type preserved
+  kCount,      // int64 result (no NULLs, so kCount == kCountStar over a col)
+  kCountStar,  // int64 result; `in` ignored
+  kAvg,        // double result
+};
+
+struct AggSpec {
+  AggFn fn;
+  std::string in;   // input column name (ignored for kCountStar)
+  std::string out;  // output column name
+};
+
+// Grouped aggregation via a bucket-chained hash table on the group-key
+// columns. Output columns: the group keys (values gathered from each
+// group's first row) followed by one column per AggSpec, in order.
+// With an empty `group_by`, produces exactly one row (global aggregate),
+// even over empty input (SQL semantics: COUNT = 0, SUM/AVG/MIN/MAX = 0
+// here since the engine has no NULLs).
+Relation HashAggregate(const ColumnSource& src,
+                       const std::vector<std::string>& group_by,
+                       const std::vector<AggSpec>& aggs, QueryStats* stats);
+
+// Scalar helpers for subquery thresholds (Q11, Q15, Q17, Q22).
+double SumF64(const storage::Column& col, QueryStats* stats);
+double AvgF64(const storage::Column& col, QueryStats* stats);
+double MaxF64(const storage::Column& col, QueryStats* stats);
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_AGGREGATE_H_

@@ -1,0 +1,125 @@
+#ifndef WIMPI_EXEC_COUNTERS_H_
+#define WIMPI_EXEC_COUNTERS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wimpi::exec {
+
+// Abstract work performed by one operator invocation. The engine executes
+// queries for real on the host; these counters are what the hardware model
+// (src/hw) converts into simulated runtimes for each of the paper's
+// comparison points. Units:
+//   compute_ops    - abstract per-tuple work units (one comparison or one
+//                    arithmetic op ~ 1 unit; a hash ~ 4 units)
+//   seq_bytes      - bytes streamed sequentially (column scans and
+//                    materialized outputs)
+//   rand_count     - random accesses into a structure of rand_struct_bytes
+//                    total size (hash probes/inserts); the model decides
+//                    whether each access hits LLC or memory
+//   output_bytes   - bytes of materialized output (also added to seq_bytes
+//                    by convention; kept separately for working-set
+//                    accounting)
+struct OpStats {
+  std::string op;
+  double compute_ops = 0;
+  double seq_bytes = 0;
+  double rand_count = 0;
+  double rand_struct_bytes = 0;
+  double output_bytes = 0;
+  // Fraction of this operator's work that can use all cores (morsel
+  // parallelism). Single-threaded phases (e.g. final merges) use 0.
+  double parallel_fraction = 1.0;
+};
+
+// Accumulated statistics for one query execution.
+struct QueryStats {
+  std::vector<OpStats> ops;
+  // Peak bytes of live intermediates + hash tables during execution,
+  // maintained by the executor; drives the cluster spill model.
+  double peak_intermediate_bytes = 0;
+  double live_intermediate_bytes = 0;
+
+  // Base-table columns touched, "table.column" -> full column bytes.
+  // Together with peak_intermediate_bytes this approximates the query's
+  // working set (MonetDB memory-maps base data, so only touched columns
+  // occupy node memory) for the cluster spill model.
+  std::map<std::string, double> base_columns;
+
+  void TouchBaseColumn(const std::string& key, double bytes) {
+    auto [it, inserted] = base_columns.emplace(key, bytes);
+    if (!inserted && bytes > it->second) it->second = bytes;
+  }
+  double BaseTouchedBytes() const {
+    double t = 0;
+    for (const auto& [_, b] : base_columns) t += b;
+    return t;
+  }
+
+  void Add(OpStats s) { ops.push_back(std::move(s)); }
+
+  void TrackAlloc(double bytes) {
+    live_intermediate_bytes += bytes;
+    if (live_intermediate_bytes > peak_intermediate_bytes) {
+      peak_intermediate_bytes = live_intermediate_bytes;
+    }
+  }
+  void TrackFree(double bytes) { live_intermediate_bytes -= bytes; }
+
+  double TotalComputeOps() const {
+    double t = 0;
+    for (const auto& s : ops) t += s.compute_ops;
+    return t;
+  }
+  double TotalSeqBytes() const {
+    double t = 0;
+    for (const auto& s : ops) t += s.seq_bytes;
+    return t;
+  }
+  double TotalRandCount() const {
+    double t = 0;
+    for (const auto& s : ops) t += s.rand_count;
+    return t;
+  }
+
+  // Scales all counters by `f`; used to project a physically-executed
+  // SF s run to a modeled SF s*f run (documented in DESIGN.md §2).
+  void Scale(double f) {
+    for (auto& s : ops) {
+      s.compute_ops *= f;
+      s.seq_bytes *= f;
+      s.rand_count *= f;
+      s.rand_struct_bytes *= f;
+      s.output_bytes *= f;
+    }
+    peak_intermediate_bytes *= f;
+    for (auto& [_, b] : base_columns) b *= f;
+  }
+
+  void Merge(const QueryStats& other) {
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+    peak_intermediate_bytes =
+        std::max(peak_intermediate_bytes, other.peak_intermediate_bytes);
+    for (const auto& [k, b] : other.base_columns) TouchBaseColumn(k, b);
+  }
+};
+
+// Rough per-tuple compute unit constants shared by operators.
+namespace cost {
+inline constexpr double kCompare = 1.0;
+inline constexpr double kArith = 1.0;
+inline constexpr double kGather = 1.5;
+inline constexpr double kHash = 4.0;
+inline constexpr double kHashInsert = 6.0;
+inline constexpr double kHashProbe = 5.0;
+inline constexpr double kAggUpdate = 2.0;
+inline constexpr double kSortPerCmp = 2.5;
+inline constexpr double kLikePerChar = 1.0;
+}  // namespace cost
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_COUNTERS_H_

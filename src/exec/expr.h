@@ -1,0 +1,71 @@
+#ifndef WIMPI_EXEC_EXPR_H_
+#define WIMPI_EXEC_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/counters.h"
+#include "storage/column.h"
+
+namespace wimpi::exec {
+
+// Column-at-a-time expression kernels. Each materializes its result (the
+// MonetDB execution style the paper benchmarked) and records the work.
+
+// out[i] = a[i] * b[i]
+std::unique_ptr<storage::Column> MulF64(const storage::Column& a,
+                                        const storage::Column& b,
+                                        QueryStats* stats);
+// out[i] = a[i] + b[i]
+std::unique_ptr<storage::Column> AddF64(const storage::Column& a,
+                                        const storage::Column& b,
+                                        QueryStats* stats);
+// out[i] = a[i] - b[i]
+std::unique_ptr<storage::Column> SubF64(const storage::Column& a,
+                                        const storage::Column& b,
+                                        QueryStats* stats);
+// out[i] = c - a[i] (e.g. 1 - l_discount)
+std::unique_ptr<storage::Column> ConstMinusF64(double c,
+                                               const storage::Column& a,
+                                               QueryStats* stats);
+// out[i] = c + a[i] (e.g. 1 + l_tax)
+std::unique_ptr<storage::Column> ConstPlusF64(double c,
+                                              const storage::Column& a,
+                                              QueryStats* stats);
+// out[i] = a[i] * c
+std::unique_ptr<storage::Column> MulConstF64(const storage::Column& a,
+                                             double c, QueryStats* stats);
+
+// EXTRACT(YEAR FROM d) as an int32 column.
+std::unique_ptr<storage::Column> ExtractYear(const storage::Column& dates,
+                                             QueryStats* stats);
+
+// Per-row 0/1 mask from a test over a string column's dictionary values
+// (CASE WHEN <string predicate> THEN ... ELSE 0).
+std::vector<uint8_t> StrMatchMask(const storage::Column& col,
+                                  const std::function<bool(std::string_view)>& test,
+                                  double cost_per_value, QueryStats* stats);
+
+// Per-row 0/1 mask from an int32/date column test.
+std::vector<uint8_t> I32EqMask(const storage::Column& col, int32_t value,
+                               QueryStats* stats);
+
+// out[i] = mask[i] ? a[i] : 0
+std::unique_ptr<storage::Column> MaskedF64(const storage::Column& a,
+                                           const std::vector<uint8_t>& mask,
+                                           QueryStats* stats);
+
+// out[i] = a[i] / b[i] (b[i] == 0 yields 0, which only arises on empty
+// groups that SQL would make NULL).
+std::unique_ptr<storage::Column> DivF64(const storage::Column& a,
+                                        const storage::Column& b,
+                                        QueryStats* stats);
+
+// Converts an int32/int64/date column to float64.
+std::unique_ptr<storage::Column> CastF64(const storage::Column& a,
+                                         QueryStats* stats);
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_EXPR_H_

@@ -1,0 +1,481 @@
+#include "exec/filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace wimpi::exec {
+
+Predicate Predicate::CmpI32(std::string col, CmpOp op, int32_t v) {
+  Predicate p;
+  p.kind_ = Kind::kCmpI32;
+  p.col_ = std::move(col);
+  p.op_ = op;
+  p.i64_ = v;
+  return p;
+}
+
+Predicate Predicate::CmpI64(std::string col, CmpOp op, int64_t v) {
+  Predicate p;
+  p.kind_ = Kind::kCmpI64;
+  p.col_ = std::move(col);
+  p.op_ = op;
+  p.i64_ = v;
+  return p;
+}
+
+Predicate Predicate::CmpF64(std::string col, CmpOp op, double v) {
+  Predicate p;
+  p.kind_ = Kind::kCmpF64;
+  p.col_ = std::move(col);
+  p.op_ = op;
+  p.f64_ = v;
+  return p;
+}
+
+Predicate Predicate::BetweenI32(std::string col, int32_t lo, int32_t hi) {
+  Predicate p;
+  p.kind_ = Kind::kBetweenI32;
+  p.col_ = std::move(col);
+  p.i64_ = lo;
+  p.i64_hi_ = hi;
+  return p;
+}
+
+Predicate Predicate::BetweenF64(std::string col, double lo, double hi) {
+  Predicate p;
+  p.kind_ = Kind::kBetweenF64;
+  p.col_ = std::move(col);
+  p.f64_ = lo;
+  p.f64_hi_ = hi;
+  return p;
+}
+
+Predicate Predicate::InI32(std::string col, std::vector<int32_t> values) {
+  Predicate p;
+  p.kind_ = Kind::kInI32;
+  p.col_ = std::move(col);
+  std::sort(values.begin(), values.end());
+  p.in_values_ = std::move(values);
+  return p;
+}
+
+Predicate Predicate::StrEq(std::string col, std::string value) {
+  return StrTest(
+      std::move(col),
+      [v = std::move(value)](std::string_view s) { return s == v; }, 2.0);
+}
+
+Predicate Predicate::StrNe(std::string col, std::string value) {
+  return StrTest(
+      std::move(col),
+      [v = std::move(value)](std::string_view s) { return s != v; }, 2.0);
+}
+
+Predicate Predicate::StrIn(std::string col, std::vector<std::string> values) {
+  return StrTest(
+      std::move(col),
+      [vs = std::move(values)](std::string_view s) {
+        for (const auto& v : vs) {
+          if (s == v) return true;
+        }
+        return false;
+      },
+      4.0);
+}
+
+Predicate Predicate::Like(std::string col, std::string pattern) {
+  // Pattern matching costs grow with pattern complexity (MonetDB falls back
+  // to PCRE for multi-wildcard patterns).
+  const double cost = 4.0 + 2.0 * cost::kLikePerChar * pattern.size();
+  return StrTest(
+      std::move(col),
+      [pat = std::move(pattern)](std::string_view s) {
+        return LikeMatch(s, pat);
+      },
+      cost);
+}
+
+Predicate Predicate::NotLike(std::string col, std::string pattern) {
+  const double cost = 4.0 + 2.0 * cost::kLikePerChar * pattern.size();
+  return StrTest(
+      std::move(col),
+      [pat = std::move(pattern)](std::string_view s) {
+        return !LikeMatch(s, pat);
+      },
+      cost);
+}
+
+Predicate Predicate::StrTest(std::string col,
+                             std::function<bool(std::string_view)> test,
+                             double cost_per_value) {
+  Predicate p;
+  p.kind_ = Kind::kStrPred;
+  p.col_ = std::move(col);
+  p.str_test_ = std::move(test);
+  p.str_cost_ = cost_per_value;
+  return p;
+}
+
+namespace {
+
+template <typename T>
+bool Cmp(T a, CmpOp op, T b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+// Internal helper with access to Predicate fields.
+class FilterRunner {
+ public:
+  // Appends rows from [candidates or 0..rows) that satisfy `p` to `out`.
+  static void Apply(const ColumnSource& src, const Predicate& p,
+                    const SelVec* candidates, SelVec* out,
+                    QueryStats* stats) {
+    const storage::Column& col = src.column(p.col_);
+    const int64_t n =
+        candidates != nullptr ? static_cast<int64_t>(candidates->size())
+                              : src.rows();
+    const int width = storage::TypeWidth(col.type());
+
+    OpStats op;
+    op.op = "filter(" + p.col_ + ")";
+    // Candidate-list passes read scattered positions, but at cache-line
+    // granularity even moderate selectivity touches most of the column:
+    // traffic = rows * width * (1 - (1 - s)^(values per 64B line)).
+    double touched = static_cast<double>(n) * width;
+    if (candidates != nullptr && src.rows() > 0) {
+      const double sel_frac =
+          static_cast<double>(n) / static_cast<double>(src.rows());
+      const double line_frac =
+          1.0 - std::pow(1.0 - std::min(1.0, sel_frac), 64.0 / width);
+      touched = static_cast<double>(src.rows()) * width * line_frac;
+    }
+    op.seq_bytes = touched;
+    op.compute_ops = static_cast<double>(n) * cost::kCompare;
+
+    auto for_each = [&](auto&& test) {
+      if (candidates != nullptr) {
+        for (const int32_t row : *candidates) {
+          if (test(row)) out->push_back(row);
+        }
+      } else {
+        const int64_t rows = src.rows();
+        for (int64_t row = 0; row < rows; ++row) {
+          if (test(row)) out->push_back(static_cast<int32_t>(row));
+        }
+      }
+    };
+
+    switch (p.kind_) {
+      case Predicate::Kind::kCmpI32: {
+        const int32_t* d = col.I32Data();
+        const auto v = static_cast<int32_t>(p.i64_);
+        const CmpOp o = p.op_;
+        for_each([&](int64_t r) { return Cmp(d[r], o, v); });
+        break;
+      }
+      case Predicate::Kind::kCmpI64: {
+        const int64_t* d = col.I64Data();
+        const int64_t v = p.i64_;
+        const CmpOp o = p.op_;
+        for_each([&](int64_t r) { return Cmp(d[r], o, v); });
+        break;
+      }
+      case Predicate::Kind::kCmpF64: {
+        const double* d = col.F64Data();
+        const double v = p.f64_;
+        const CmpOp o = p.op_;
+        for_each([&](int64_t r) { return Cmp(d[r], o, v); });
+        break;
+      }
+      case Predicate::Kind::kBetweenI32: {
+        const int32_t* d = col.I32Data();
+        const auto lo = static_cast<int32_t>(p.i64_);
+        const auto hi = static_cast<int32_t>(p.i64_hi_);
+        for_each([&](int64_t r) { return d[r] >= lo && d[r] <= hi; });
+        break;
+      }
+      case Predicate::Kind::kBetweenF64: {
+        const double* d = col.F64Data();
+        const double lo = p.f64_;
+        const double hi = p.f64_hi_;
+        for_each([&](int64_t r) { return d[r] >= lo && d[r] <= hi; });
+        break;
+      }
+      case Predicate::Kind::kInI32: {
+        const int32_t* d = col.I32Data();
+        const auto& vals = p.in_values_;
+        op.compute_ops = static_cast<double>(n) * cost::kCompare * 2;
+        for_each([&](int64_t r) {
+          return std::binary_search(vals.begin(), vals.end(), d[r]);
+        });
+        break;
+      }
+      case Predicate::Kind::kStrPred: {
+        // Evaluate the test once per dictionary entry, then filter codes.
+        const auto& dict = *col.dict();
+        std::vector<uint8_t> match(dict.size());
+        double dict_bytes = 0;
+        for (int32_t c = 0; c < dict.size(); ++c) {
+          const std::string_view v = dict.ValueAt(c);
+          match[c] = p.str_test_(v) ? 1 : 0;
+          dict_bytes += static_cast<double>(v.size());
+        }
+        op.compute_ops = static_cast<double>(dict.size()) * p.str_cost_ +
+                         static_cast<double>(n) * cost::kCompare;
+        op.seq_bytes += dict_bytes + static_cast<double>(dict.size());
+        const int32_t* d = col.I32Data();
+        for_each([&](int64_t r) { return match[d[r]] != 0; });
+        break;
+      }
+    }
+
+    op.output_bytes = static_cast<double>(out->size()) * sizeof(int32_t);
+    op.seq_bytes += op.output_bytes;
+    if (stats != nullptr) stats->Add(std::move(op));
+  }
+};
+
+SelVec Filter(const ColumnSource& src, const std::vector<Predicate>& preds,
+              QueryStats* stats, const SelVec* base) {
+  WIMPI_CHECK(!preds.empty());
+  if (stats != nullptr && src.table() != nullptr) {
+    for (const auto& p : preds) {
+      const auto& col = src.column(p.column_name());
+      // String columns carry their dictionary into the working set (the
+      // codes are 4 bytes, but evaluating a predicate touches the values).
+      const double dict_bytes =
+          col.dict() != nullptr ? col.dict()->MemoryBytes() : 0.0;
+      stats->TouchBaseColumn(
+          src.table()->name() + "." + p.column_name(),
+          static_cast<double>(src.rows()) * storage::TypeWidth(col.type()) +
+              dict_bytes);
+    }
+  }
+  SelVec current;
+  const SelVec* input = base;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    SelVec next;
+    next.reserve(input != nullptr ? input->size()
+                                  : static_cast<size_t>(src.rows()) / 4);
+    FilterRunner::Apply(src, preds[i], input, &next, stats);
+    current = std::move(next);
+    input = &current;
+  }
+  return current;
+}
+
+SelVec FilterColCmpCol(const ColumnSource& src, const std::string& a,
+                       CmpOp op, const std::string& b, QueryStats* stats,
+                       const SelVec* base) {
+  const storage::Column& ca = src.column(a);
+  const storage::Column& cb = src.column(b);
+  WIMPI_CHECK(ca.type() != storage::DataType::kString &&
+              cb.type() != storage::DataType::kString &&
+              (ca.type() == cb.type() ||
+               (storage::TypeWidth(ca.type()) == 4 &&
+                storage::TypeWidth(cb.type()) == 4)))
+      << "FilterColCmpCol type mismatch";
+  SelVec out;
+  const int64_t n = base != nullptr ? static_cast<int64_t>(base->size())
+                                    : src.rows();
+  out.reserve(n / 2);
+  auto run = [&](auto&& test) {
+    if (base != nullptr) {
+      for (const int32_t r : *base) {
+        if (test(r)) out.push_back(r);
+      }
+    } else {
+      for (int64_t r = 0; r < n; ++r) {
+        if (test(static_cast<int32_t>(r))) {
+          out.push_back(static_cast<int32_t>(r));
+        }
+      }
+    }
+  };
+  switch (ca.type()) {
+    case storage::DataType::kInt64: {
+      const int64_t* da = ca.I64Data();
+      const int64_t* db = cb.I64Data();
+      run([&](int32_t r) { return Cmp(da[r], op, db[r]); });
+      break;
+    }
+    case storage::DataType::kFloat64: {
+      const double* da = ca.F64Data();
+      const double* db = cb.F64Data();
+      run([&](int32_t r) { return Cmp(da[r], op, db[r]); });
+      break;
+    }
+    default: {
+      const int32_t* da = ca.I32Data();
+      const int32_t* db = cb.I32Data();
+      run([&](int32_t r) { return Cmp(da[r], op, db[r]); });
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    OpStats op_stats;
+    op_stats.op = "filter(" + a + " vs " + b + ")";
+    op_stats.compute_ops = static_cast<double>(n) * cost::kCompare;
+    op_stats.seq_bytes = static_cast<double>(n) * 8 +
+                         static_cast<double>(out.size()) * sizeof(int32_t);
+    op_stats.output_bytes = static_cast<double>(out.size()) * sizeof(int32_t);
+    stats->Add(std::move(op_stats));
+  }
+  return out;
+}
+
+SelVec UnionSel(const std::vector<const SelVec*>& sels, QueryStats* stats) {
+  SelVec out;
+  size_t total = 0;
+  for (const SelVec* s : sels) total += s->size();
+  out.reserve(total);
+  for (const SelVec* s : sels) out.insert(out.end(), s->begin(), s->end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) {
+    OpStats op;
+    op.op = "union_sel";
+    op.compute_ops = static_cast<double>(total) * cost::kSortPerCmp *
+                     (total > 1 ? std::max(1.0, std::log2(double(total))) : 1);
+    op.seq_bytes = static_cast<double>(total + out.size()) * sizeof(int32_t);
+    op.output_bytes = static_cast<double>(out.size()) * sizeof(int32_t);
+    stats->Add(std::move(op));
+  }
+  return out;
+}
+
+std::unique_ptr<storage::Column> Gather(const storage::Column& src,
+                                        const SelVec& sel,
+                                        QueryStats* stats) {
+  auto out = src.dict() != nullptr
+                 ? std::make_unique<storage::Column>(src.type(), src.dict())
+                 : std::make_unique<storage::Column>(src.type());
+  const int64_t n = static_cast<int64_t>(sel.size());
+  out->Reserve(n);
+  switch (src.type()) {
+    case storage::DataType::kInt64: {
+      const int64_t* d = src.I64Data();
+      auto& v = out->MutableI64();
+      for (const int32_t r : sel) v.push_back(d[r]);
+      break;
+    }
+    case storage::DataType::kFloat64: {
+      const double* d = src.F64Data();
+      auto& v = out->MutableF64();
+      for (const int32_t r : sel) v.push_back(d[r]);
+      break;
+    }
+    default: {
+      const int32_t* d = src.I32Data();
+      auto& v = out->MutableI32();
+      for (const int32_t r : sel) v.push_back(d[r]);
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    const int width = storage::TypeWidth(src.type());
+    OpStats op;
+    op.op = "gather";
+    op.compute_ops = static_cast<double>(n) * cost::kGather;
+    // A gather reads the selection vector sequentially and the source
+    // column at cache-line granularity (candidate lists are ascending, so
+    // the traffic is sequential over the touched lines).
+    double src_touched = static_cast<double>(n) * width;
+    if (src.size() > 0) {
+      const double sel_frac =
+          static_cast<double>(n) / static_cast<double>(src.size());
+      const double line_frac =
+          1.0 - std::pow(1.0 - std::min(1.0, sel_frac), 64.0 / width);
+      src_touched = static_cast<double>(src.size()) * width * line_frac;
+    }
+    op.seq_bytes = static_cast<double>(n) * (sizeof(int32_t) + width) +
+                   src_touched;
+    op.output_bytes = static_cast<double>(n) * width;
+    stats->Add(std::move(op));
+    stats->TrackAlloc(static_cast<double>(n) * width);
+  }
+  return out;
+}
+
+Relation GatherColumns(
+    const ColumnSource& src,
+    const std::vector<std::pair<std::string, std::string>>& cols,
+    const SelVec& sel, QueryStats* stats) {
+  Relation out;
+  for (const auto& [in_name, out_name] : cols) {
+    if (stats != nullptr && src.table() != nullptr) {
+      const auto& col = src.column(in_name);
+      const double dict_bytes =
+          col.dict() != nullptr ? col.dict()->MemoryBytes() : 0.0;
+      stats->TouchBaseColumn(
+          src.table()->name() + "." + in_name,
+          static_cast<double>(src.rows()) * storage::TypeWidth(col.type()) +
+              dict_bytes);
+    }
+    out.AddColumn(out_name, Gather(src.column(in_name), sel, stats));
+  }
+  return out;
+}
+
+std::unique_ptr<storage::Column> GatherWithDefault(
+    const storage::Column& src, const std::vector<int32_t>& idx, double def,
+    QueryStats* stats) {
+  auto out = std::make_unique<storage::Column>(src.type());
+  const int64_t n = static_cast<int64_t>(idx.size());
+  out->Reserve(n);
+  switch (src.type()) {
+    case storage::DataType::kInt64: {
+      const int64_t* d = src.I64Data();
+      auto& v = out->MutableI64();
+      for (const int32_t r : idx) {
+        v.push_back(r < 0 ? static_cast<int64_t>(def) : d[r]);
+      }
+      break;
+    }
+    case storage::DataType::kFloat64: {
+      const double* d = src.F64Data();
+      auto& v = out->MutableF64();
+      for (const int32_t r : idx) v.push_back(r < 0 ? def : d[r]);
+      break;
+    }
+    default: {
+      const int32_t* d = src.I32Data();
+      auto& v = out->MutableI32();
+      for (const int32_t r : idx) {
+        v.push_back(r < 0 ? static_cast<int32_t>(def) : d[r]);
+      }
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    const int width = storage::TypeWidth(src.type());
+    OpStats op;
+    op.op = "gather_default";
+    op.compute_ops = static_cast<double>(n) * cost::kGather;
+    op.seq_bytes = static_cast<double>(n) * (sizeof(int32_t) + 2 * width);
+    op.output_bytes = static_cast<double>(n) * width;
+    stats->Add(std::move(op));
+    stats->TrackAlloc(static_cast<double>(n) * width);
+  }
+  return out;
+}
+
+}  // namespace wimpi::exec

@@ -1,0 +1,164 @@
+#include "exec/join.h"
+
+#include <bit>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace wimpi::exec {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+
+uint64_t ValueHash(const Column& col, int64_t row) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      return HashInt64(static_cast<uint64_t>(col.I64Data()[row]));
+    case DataType::kFloat64: {
+      double d = col.F64Data()[row];
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    default:
+      return HashInt64(static_cast<uint64_t>(
+          static_cast<uint32_t>(col.I32Data()[row])));
+  }
+}
+
+uint64_t RowHash(const std::vector<const Column*>& keys, int64_t row) {
+  uint64_t h = ValueHash(*keys[0], row);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    h = HashCombine(h, ValueHash(*keys[i], row));
+  }
+  return h;
+}
+
+bool ValueEq(const Column& a, int64_t ra, const Column& b, int64_t rb) {
+  switch (a.type()) {
+    case DataType::kInt64:
+      return a.I64Data()[ra] == b.I64Data()[rb];
+    case DataType::kFloat64:
+      return a.F64Data()[ra] == b.F64Data()[rb];
+    default:
+      return a.I32Data()[ra] == b.I32Data()[rb];
+  }
+}
+
+bool RowEq(const std::vector<const Column*>& a, int64_t ra,
+           const std::vector<const Column*>& b, int64_t rb) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValueEq(*a[i], ra, *b[i], rb)) return false;
+  }
+  return true;
+}
+
+int KeyWidth(const std::vector<const Column*>& keys) {
+  int w = 0;
+  for (const Column* c : keys) w += storage::TypeWidth(c->type());
+  return w;
+}
+
+}  // namespace
+
+JoinResult HashJoin(const std::vector<const Column*>& build_keys,
+                    const std::vector<const Column*>& probe_keys,
+                    JoinKind kind, QueryStats* stats) {
+  WIMPI_CHECK(!build_keys.empty());
+  WIMPI_CHECK_EQ(build_keys.size(), probe_keys.size());
+  for (size_t i = 0; i < build_keys.size(); ++i) {
+    WIMPI_CHECK(build_keys[i]->type() == probe_keys[i]->type())
+        << "join key type mismatch at position " << i;
+  }
+
+  const int64_t n_build = build_keys[0]->size();
+  const int64_t n_probe = probe_keys[0]->size();
+
+  // Bucket-chained table: head[bucket] -> entry index, next[] chains.
+  const uint64_t n_buckets =
+      std::bit_ceil(static_cast<uint64_t>(std::max<int64_t>(n_build, 1)) * 2);
+  const uint64_t mask = n_buckets - 1;
+  std::vector<int32_t> head(n_buckets, -1);
+  std::vector<int32_t> next(n_build, -1);
+
+  for (int64_t i = 0; i < n_build; ++i) {
+    const uint64_t b = RowHash(build_keys, i) & mask;
+    next[i] = head[b];
+    head[b] = static_cast<int32_t>(i);
+  }
+
+  JoinResult result;
+  double chain_steps = 0;
+  const bool want_pairs =
+      kind == JoinKind::kInner || kind == JoinKind::kLeftOuter;
+
+  for (int64_t p = 0; p < n_probe; ++p) {
+    const uint64_t b = RowHash(probe_keys, p) & mask;
+    bool matched = false;
+    for (int32_t e = head[b]; e >= 0; e = next[e]) {
+      ++chain_steps;
+      if (!RowEq(build_keys, e, probe_keys, p)) continue;
+      matched = true;
+      if (want_pairs) {
+        result.build_idx.push_back(e);
+        result.probe_idx.push_back(static_cast<int32_t>(p));
+      } else if (kind == JoinKind::kSemi) {
+        result.probe_idx.push_back(static_cast<int32_t>(p));
+        break;
+      } else {  // kAnti: keep walking to be sure, but we can stop early
+        break;
+      }
+    }
+    if (!matched) {
+      if (kind == JoinKind::kAnti) {
+        result.probe_idx.push_back(static_cast<int32_t>(p));
+      } else if (kind == JoinKind::kLeftOuter) {
+        result.build_idx.push_back(-1);
+        result.probe_idx.push_back(static_cast<int32_t>(p));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    const int bkw = KeyWidth(build_keys);
+    const int pkw = KeyWidth(probe_keys);
+    const double table_bytes =
+        static_cast<double>(n_buckets) * 4 +
+        static_cast<double>(n_build) * (4 + bkw);
+    {
+      OpStats op;
+      op.op = "hash_build";
+      op.compute_ops = static_cast<double>(n_build) * cost::kHashInsert *
+                       static_cast<double>(build_keys.size());
+      op.seq_bytes = static_cast<double>(n_build) * bkw;
+      op.rand_count = static_cast<double>(n_build);
+      op.rand_struct_bytes = table_bytes;
+      stats->Add(std::move(op));
+      stats->TrackAlloc(table_bytes);
+    }
+    {
+      OpStats op;
+      op.op = "hash_probe";
+      op.compute_ops =
+          (static_cast<double>(n_probe) * cost::kHashProbe + chain_steps) *
+          static_cast<double>(probe_keys.size());
+      op.seq_bytes = static_cast<double>(n_probe) * pkw;
+      op.rand_count = static_cast<double>(n_probe) + chain_steps;
+      op.rand_struct_bytes = table_bytes;
+      const double out_bytes =
+          static_cast<double>(result.build_idx.size() +
+                              result.probe_idx.size()) *
+          sizeof(int32_t);
+      op.output_bytes = out_bytes;
+      op.seq_bytes += out_bytes;
+      stats->Add(std::move(op));
+      stats->TrackAlloc(out_bytes);
+      stats->TrackFree(table_bytes);
+    }
+  }
+  return result;
+}
+
+}  // namespace wimpi::exec

@@ -1,0 +1,37 @@
+#ifndef WIMPI_EXEC_JOIN_H_
+#define WIMPI_EXEC_JOIN_H_
+
+#include <vector>
+
+#include "exec/counters.h"
+#include "exec/relation.h"
+#include "storage/column.h"
+
+namespace wimpi::exec {
+
+enum class JoinKind {
+  kInner,      // emit every (build, probe) match pair
+  kSemi,       // emit probe rows with >= 1 match
+  kAnti,       // emit probe rows with no match
+  kLeftOuter,  // probe side is the outer: unmatched probe rows emit
+               // build_idx = -1
+};
+
+// Join output as row-index vectors into the two inputs; callers gather the
+// payload columns they need (full materialization, MonetDB style).
+struct JoinResult {
+  std::vector<int32_t> build_idx;  // empty for kSemi/kAnti
+  std::vector<int32_t> probe_idx;
+};
+
+// Equi-join via a bucket-chained hash table on the build side. Key columns
+// are compared value-wise, so multi-column keys of any supported type work;
+// string keys require both sides to share a dictionary (true for all tables
+// in this codebase, including cluster partitions).
+JoinResult HashJoin(const std::vector<const storage::Column*>& build_keys,
+                    const std::vector<const storage::Column*>& probe_keys,
+                    JoinKind kind, QueryStats* stats);
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_JOIN_H_

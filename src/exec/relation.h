@@ -1,0 +1,81 @@
+#ifndef WIMPI_EXEC_RELATION_H_
+#define WIMPI_EXEC_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/column.h"
+
+namespace wimpi::exec {
+
+// Row indices selected from a table or relation. Fits SF <= ~300.
+using SelVec = std::vector<int32_t>;
+
+// A fully materialized intermediate result: named, aligned columns.
+// MonetDB-style column-at-a-time execution materializes every operator
+// output; the work counters account for that traffic, which is exactly the
+// behaviour the paper measured.
+class Relation {
+ public:
+  Relation() = default;
+
+  // Non-copyable (columns can be large); movable.
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+
+  void AddColumn(std::string name, std::unique_ptr<storage::Column> col) {
+    names_.push_back(std::move(name));
+    columns_.push_back(std::move(col));
+  }
+
+  const std::string& name(int i) const { return names_[i]; }
+  void SetName(int i, std::string name) { names_[i] = std::move(name); }
+  storage::Column& column(int i) { return *columns_[i]; }
+  const storage::Column& column(int i) const { return *columns_[i]; }
+
+  int ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    WIMPI_CHECK(false) << "no column '" << name << "' in relation";
+    return -1;
+  }
+  const storage::Column& column(const std::string& name) const {
+    return *columns_[ColumnIndex(name)];
+  }
+  bool HasColumn(const std::string& name) const {
+    for (const auto& n : names_) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+  // Transfers a column out (used when re-keying results).
+  std::unique_ptr<storage::Column> TakeColumn(int i) {
+    return std::move(columns_[i]);
+  }
+
+  int64_t ValueBytes() const {
+    int64_t b = 0;
+    for (const auto& c : columns_) b += c->ValueBytes();
+    return b;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<storage::Column>> columns_;
+};
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_RELATION_H_

@@ -1,0 +1,91 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wimpi::exec {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+
+// -1 / 0 / +1 comparison of one column's values at two rows.
+int CompareAt(const Column& c, int64_t a, int64_t b) {
+  switch (c.type()) {
+    case DataType::kInt64: {
+      const int64_t x = c.I64Data()[a], y = c.I64Data()[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kFloat64: {
+      const double x = c.F64Data()[a], y = c.F64Data()[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kString: {
+      const auto x = c.StringAt(a), y = c.StringAt(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    default: {
+      const int32_t x = c.I32Data()[a], y = c.I32Data()[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+
+SelVec SortPerm(const ColumnSource& src, const std::vector<SortKey>& keys,
+                QueryStats* stats, int64_t limit) {
+  const int64_t n = src.rows();
+  std::vector<const Column*> cols;
+  cols.reserve(keys.size());
+  for (const auto& k : keys) cols.push_back(&src.column(k.col));
+
+  SelVec perm(n);
+  for (int64_t i = 0; i < n; ++i) perm[i] = static_cast<int32_t>(i);
+
+  auto less = [&](int32_t a, int32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const int c = CompareAt(*cols[k], a, b);
+      if (c != 0) return keys[k].ascending ? c < 0 : c > 0;
+    }
+    return a < b;  // stable tiebreak on source order
+  };
+
+  if (limit >= 0 && limit < n) {
+    std::partial_sort(perm.begin(), perm.begin() + limit, perm.end(), less);
+    perm.resize(limit);
+  } else {
+    std::sort(perm.begin(), perm.end(), less);
+  }
+
+  if (stats != nullptr) {
+    int key_width = 0;
+    for (const Column* c : cols) key_width += storage::TypeWidth(c->type());
+    const double cmps =
+        n <= 1 ? 0.0
+               : static_cast<double>(n) * std::log2(static_cast<double>(n));
+    OpStats op;
+    op.op = "sort";
+    op.compute_ops = cmps * cost::kSortPerCmp * keys.size();
+    op.seq_bytes = cmps * key_width + static_cast<double>(n) * 8;
+    op.output_bytes = static_cast<double>(perm.size()) * sizeof(int32_t);
+    // Sorting has limited morsel parallelism (merge phases serialize).
+    op.parallel_fraction = 0.7;
+    stats->Add(std::move(op));
+  }
+  return perm;
+}
+
+Relation SortRelation(const Relation& in, const std::vector<SortKey>& keys,
+                      QueryStats* stats, int64_t limit) {
+  const SelVec perm = SortPerm(ColumnSource(in), keys, stats, limit);
+  Relation out;
+  for (int i = 0; i < in.num_columns(); ++i) {
+    out.AddColumn(in.name(i), Gather(in.column(i), perm, stats));
+  }
+  return out;
+}
+
+}  // namespace wimpi::exec

@@ -1,0 +1,32 @@
+#ifndef WIMPI_EXEC_SORT_H_
+#define WIMPI_EXEC_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/counters.h"
+#include "exec/filter.h"
+#include "exec/relation.h"
+
+namespace wimpi::exec {
+
+struct SortKey {
+  std::string col;
+  bool ascending = true;
+};
+
+// Returns the permutation (row ids) ordering `src` by `keys`; string
+// columns compare by dictionary value (lexicographic), not code. If
+// limit >= 0, only the first `limit` rows of the permutation are produced
+// (top-N via partial sort). Ties keep source order (stable).
+SelVec SortPerm(const ColumnSource& src, const std::vector<SortKey>& keys,
+                QueryStats* stats, int64_t limit = -1);
+
+// Convenience: sorts a whole relation (gathers every column through the
+// permutation).
+Relation SortRelation(const Relation& in, const std::vector<SortKey>& keys,
+                      QueryStats* stats, int64_t limit = -1);
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_SORT_H_

@@ -1,0 +1,77 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wimpi::hw {
+
+double CostModel::ComputeScale(const HardwareProfile& hw, int threads) const {
+  if (threads <= 0) threads = hw.threads;
+  threads = std::min({threads, hw.threads, opts_.max_db_threads});
+  const int phys = std::min(threads, hw.cores);
+  double scale =
+      1.0 + opts_.parallel_efficiency *
+                std::pow(static_cast<double>(phys - 1),
+                         opts_.scaling_exponent);
+  if (threads > hw.cores) {
+    // SMT adds a fixed throughput bonus, not linear scaling.
+    scale *= opts_.smt_bonus;
+  }
+  return scale;
+}
+
+double CostModel::OpSeconds(const HardwareProfile& hw,
+                            const exec::OpStats& op, int threads) const {
+  if (threads <= 0) threads = hw.threads;
+  const double scale = ComputeScale(hw, threads);
+  const double par = std::clamp(op.parallel_fraction, 0.0, 1.0);
+  const double amdahl_scale = 1.0 / ((1.0 - par) + par / scale);
+
+  // Compute roof.
+  const double single_rate = hw.DbSingleCoreRate() / opts_.cycles_per_op;
+  const double compute_s = op.compute_ops / (single_rate * amdahl_scale);
+
+  // Sequential-bandwidth roof: single-core bandwidth at one thread, the
+  // aggregate otherwise; a stream that fits in LLC runs faster.
+  double bw_gbps = (threads <= 1 || par == 0.0) ? hw.mem_bw_single_gbps
+                                                : hw.mem_bw_all_gbps;
+  bw_gbps *= opts_.stream_efficiency;
+  if (op.seq_bytes > 0 &&
+      op.seq_bytes <= hw.llc_bytes * opts_.llc_usable_fraction) {
+    bw_gbps *= opts_.llc_bw_multiplier;
+  }
+  const double seq_s = op.seq_bytes / (bw_gbps * 1e9);
+
+  // Random-access latency, overlapped across cores and MLP.
+  double rand_s = 0;
+  if (op.rand_count > 0) {
+    const double lat_ns =
+        op.rand_struct_bytes <= hw.llc_bytes * opts_.llc_usable_fraction
+            ? hw.llc_latency_ns
+            : hw.mem_latency_ns;
+    const int cores_used =
+        std::max(1, std::min(threads, hw.cores));
+    const double effective_lanes =
+        (par == 0.0 ? 1.0 : cores_used) * opts_.mlp;
+    rand_s = op.rand_count * lat_ns * 1e-9 / effective_lanes;
+  }
+
+  return std::max(compute_s, seq_s) + rand_s;
+}
+
+double CostModel::WorkSeconds(const HardwareProfile& hw,
+                              const exec::QueryStats& s, int threads) const {
+  double total = 0;
+  for (const auto& op : s.ops) total += OpSeconds(hw, op, threads);
+  return total;
+}
+
+double CostModel::QuerySeconds(const HardwareProfile& hw,
+                               const exec::QueryStats& s,
+                               int threads) const {
+  const double overhead_s =
+      opts_.query_overhead_ops / (hw.DbSingleCoreRate() / opts_.cycles_per_op);
+  return overhead_s + WorkSeconds(hw, s, threads);
+}
+
+}  // namespace wimpi::hw

@@ -1,0 +1,86 @@
+#ifndef WIMPI_HW_COST_MODEL_H_
+#define WIMPI_HW_COST_MODEL_H_
+
+#include "exec/counters.h"
+#include "hw/profile.h"
+
+namespace wimpi::hw {
+
+// Tunable calibration constants. Defaults are calibrated against the
+// paper's Table II (TPC-H SF 1 runtimes); see DESIGN.md §5 for the anchors.
+struct CostModelOptions {
+  // Cycles of real work per abstract work unit (operators count roughly one
+  // unit per simple per-tuple operation, which costs a few instructions).
+  double cycles_per_op = 2.6;
+  // Multicore scaling of query work follows a sublinear law
+  //   scale(p) = 1 + parallel_efficiency * (p - 1)^scaling_exponent,
+  // matching the poor scaling MonetDB shows on sub-second queries in the
+  // paper (op-e5's Table II times imply only ~3-5x from 20 threads).
+  // Independent kernels (the CPU microbenchmarks) scale nearly linearly
+  // and use their own law in micro::MicrobenchModel.
+  double parallel_efficiency = 0.9;
+  double scaling_exponent = 0.62;
+  // Extra throughput from SMT when threads > cores.
+  double smt_bonus = 1.15;
+  // Overlapped outstanding random accesses per core (MLP).
+  double mlp = 4.0;
+  // MonetDB-style engines stop scaling beyond this many threads on
+  // sub-second queries (observable in the paper's c6g.metal Table II
+  // numbers, which do not reflect 64 cores).
+  int max_db_threads = 24;
+  // Fixed per-query work (optimizer, plan setup, result delivery) in
+  // abstract ops, executed single-threaded. Reproduces the runtime floor
+  // visible in Table II (e.g. Q2 at 8 ms on every Xeon).
+  double query_overhead_ops = 8e6;
+  // Fraction of peak (sysbench-style read-only) bandwidth that mixed
+  // read/write operator traffic actually achieves.
+  double stream_efficiency = 0.45;
+  // Sequential bandwidth multiplier when an operator's stream fits in LLC.
+  double llc_bw_multiplier = 4.0;
+  // Fraction of LLC usable for streaming reuse.
+  double llc_usable_fraction = 0.8;
+};
+
+// Converts the abstract work counters recorded during a (host) query
+// execution into simulated wall-clock seconds on a hardware profile.
+//
+// Per-operator roofline: an operator costs
+//   max(compute_time, sequential_memory_time) + random_access_time,
+// where compute scales with cores (Amdahl on the operator's
+// parallel_fraction), sequential traffic is bounded by the profile's
+// aggregate bandwidth (or LLC bandwidth when the stream fits), and random
+// accesses pay LLC or memory latency depending on the structure size,
+// overlapped MLP-wide per core. Operator times sum: the engine is
+// column-at-a-time (full materialization), so operators execute serially,
+// exactly like the MonetDB instance the paper measured.
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions opts = {}) : opts_(opts) {}
+
+  const CostModelOptions& options() const { return opts_; }
+
+  // Simulated seconds for one operator on `hw` using `threads` threads
+  // (threads <= 0 means all available).
+  double OpSeconds(const HardwareProfile& hw, const exec::OpStats& op,
+                   int threads = -1) const;
+
+  // Simulated seconds for a whole query (sums operators, adds the fixed
+  // per-query overhead).
+  double QuerySeconds(const HardwareProfile& hw, const exec::QueryStats& s,
+                      int threads = -1) const;
+
+  // Like QuerySeconds but without the fixed overhead; used by the cluster
+  // driver, which adds one overhead per distributed query, not per node.
+  double WorkSeconds(const HardwareProfile& hw, const exec::QueryStats& s,
+                     int threads = -1) const;
+
+  // Effective parallel speedup of `hw` at `threads` threads.
+  double ComputeScale(const HardwareProfile& hw, int threads) const;
+
+ private:
+  CostModelOptions opts_;
+};
+
+}  // namespace wimpi::hw
+
+#endif  // WIMPI_HW_COST_MODEL_H_

@@ -1,0 +1,226 @@
+#include "hw/profile.h"
+
+#include "common/logging.h"
+
+namespace wimpi::hw {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kKiB = 1024.0;
+
+std::vector<HardwareProfile> BuildProfiles() {
+  std::vector<HardwareProfile> v;
+
+  // --- On-Premises (dual-socket; one socket modeled for execution, the
+  // MSRP analysis doubles the price per the paper) ---
+  v.push_back({.name = "op-e5",
+               .category = "On-Premises",
+               .cpu = "Intel Xeon E5-2660 v2",
+               .freq_ghz = 2.2,
+               .cores = 10,
+               .threads = 20,
+               .llc_bytes = 25 * kMiB,
+               .ipc = 1.00,  // Ivy Bridge reference point
+               .db_ipc = 1.00,
+               .div_ipc = 0.16,
+               .mem_bw_single_gbps = 12,
+               .mem_bw_all_gbps = 45,
+               .mem_latency_ns = 90,
+               .llc_latency_ns = 15,
+               .msrp_usd = 1389,
+               .sockets = 2,
+               .tdp_watts = 95});
+  v.push_back({.name = "op-gold",
+               .category = "On-Premises",
+               .cpu = "Intel Xeon Gold 6150",
+               .freq_ghz = 2.7,
+               .cores = 18,
+               .threads = 36,
+               .llc_bytes = 24.75 * kMiB,
+               .ipc = 1.55,  // Skylake-SP
+               .db_ipc = 1.15,
+               .div_ipc = 0.22,
+               .mem_bw_single_gbps = 18,
+               .mem_bw_all_gbps = 105,
+               .mem_latency_ns = 85,
+               .llc_latency_ns = 18,
+               .msrp_usd = 3358,
+               .sockets = 2,
+               .tdp_watts = 165});
+
+  // --- Cloud (custom SKUs: no MSRP/TDP, hourly price only) ---
+  v.push_back({.name = "c4.8xlarge",
+               .category = "Cloud",
+               .cpu = "Intel Xeon E5-2666 v3",
+               .freq_ghz = 2.9,
+               .cores = 9,
+               .threads = 18,
+               .llc_bytes = 25 * kMiB,
+               .ipc = 1.25,  // Haswell
+               .db_ipc = 1.05,
+               .div_ipc = 0.18,
+               .mem_bw_single_gbps = 13,
+               .mem_bw_all_gbps = 55,
+               .mem_latency_ns = 88,
+               .llc_latency_ns = 16,
+               .hourly_usd = 1.591});
+  v.push_back({.name = "m4.10xlarge",
+               .category = "Cloud",
+               .cpu = "Intel Xeon E5-2676 v3",
+               .freq_ghz = 2.4,
+               .cores = 10,
+               .threads = 20,
+               .llc_bytes = 30 * kMiB,
+               .ipc = 1.25,
+               .db_ipc = 1.05,
+               .div_ipc = 0.18,
+               .mem_bw_single_gbps = 12,
+               .mem_bw_all_gbps = 48,
+               .mem_latency_ns = 90,
+               .llc_latency_ns = 16,
+               .hourly_usd = 2.00});
+  v.push_back({.name = "m4.16xlarge",
+               .category = "Cloud",
+               .cpu = "Intel Xeon E5-2686 v4",
+               .freq_ghz = 2.3,
+               .cores = 16,
+               .threads = 32,
+               .llc_bytes = 45 * kMiB,
+               .ipc = 1.30,  // Broadwell
+               .db_ipc = 1.08,
+               .div_ipc = 0.19,
+               .mem_bw_single_gbps = 13,
+               .mem_bw_all_gbps = 68,
+               .mem_latency_ns = 90,
+               .llc_latency_ns = 17,
+               .hourly_usd = 3.20});
+  v.push_back({.name = "z1d.metal",
+               .category = "Cloud",
+               .cpu = "Intel Xeon Platinum 8151",
+               .freq_ghz = 3.4,  // sustained all-core turbo
+               .cores = 12,
+               .threads = 24,
+               .llc_bytes = 24.75 * kMiB,
+               .ipc = 1.55,  // Skylake-SP
+               .db_ipc = 1.10,
+               .div_ipc = 0.22,
+               .mem_bw_single_gbps = 20,
+               .mem_bw_all_gbps = 85,
+               .mem_latency_ns = 85,
+               .llc_latency_ns = 18,
+               .hourly_usd = 4.464});
+  v.push_back({.name = "m5.metal",
+               .category = "Cloud",
+               .cpu = "Intel Xeon Platinum 8259CL",
+               .freq_ghz = 2.5,
+               .cores = 24,
+               .threads = 48,
+               .llc_bytes = 35.75 * kMiB,
+               .ipc = 1.55,  // Cascade Lake
+               .db_ipc = 1.15,
+               .div_ipc = 0.22,
+               .mem_bw_single_gbps = 18,
+               .mem_bw_all_gbps = 150,
+               .mem_latency_ns = 85,
+               .llc_latency_ns = 18,
+               .hourly_usd = 4.608});
+  v.push_back({.name = "a1.metal",
+               .category = "Cloud",
+               .cpu = "AWS Graviton",
+               .freq_ghz = 2.3,
+               .cores = 16,
+               .threads = 16,  // no SMT
+               .llc_bytes = 8 * kMiB,
+               .ipc = 0.85,  // Cortex-A72
+               .db_ipc = 0.80,
+               .div_ipc = 0.22,
+               .mem_bw_single_gbps = 10,
+               .mem_bw_all_gbps = 45,
+               .mem_latency_ns = 110,
+               .llc_latency_ns = 25,
+               .hourly_usd = 0.408});
+  v.push_back({.name = "c6g.metal",
+               .category = "Cloud",
+               .cpu = "AWS Graviton2",
+               .freq_ghz = 2.5,
+               .cores = 64,
+               .threads = 64,
+               .llc_bytes = 32 * kMiB,
+               .ipc = 1.30,  // Neoverse N1
+               .db_ipc = 1.10,
+               .div_ipc = 0.28,
+               .mem_bw_single_gbps = 22,
+               .mem_bw_all_gbps = 218,
+               .mem_latency_ns = 95,
+               .llc_latency_ns = 20,
+               .hourly_usd = 2.176});
+
+  // --- SBC ---
+  v.push_back({.name = "pi3b+",
+               .category = "SBC",
+               .cpu = "ARM Cortex-A53",
+               .freq_ghz = 1.4,
+               .cores = 4,
+               .threads = 4,
+               .llc_bytes = 512 * kKiB,
+               .ipc = 0.60,  // in-order A53
+               // The paper's central observation: on branchy, cache-missy
+               // interpreter code the simple in-order A53 loses far less
+               // to the big cores than dense kernels suggest.
+               .db_ipc = 0.85,
+               .div_ipc = 0.25,
+               .mem_bw_single_gbps = 2.0,
+               .mem_bw_all_gbps = 2.2,  // single LPDDR2 channel
+               .mem_latency_ns = 140,
+               .llc_latency_ns = 30,
+               .msrp_usd = 35,
+               .sockets = 1,
+               .hourly_usd = 0.0004,  // 5.1 W x US average $/kWh
+               .tdp_watts = 5.1});    // whole-board max draw
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<HardwareProfile>& AllProfiles() {
+  static const std::vector<HardwareProfile>& profiles =
+      *new std::vector<HardwareProfile>(BuildProfiles());
+  return profiles;
+}
+
+const HardwareProfile& ProfileByName(const std::string& name) {
+  for (const auto& p : AllProfiles()) {
+    if (p.name == name) return p;
+  }
+  WIMPI_CHECK(false) << "unknown hardware profile: " << name;
+  return AllProfiles()[0];
+}
+
+const HardwareProfile& PiProfile() { return ProfileByName("pi3b+"); }
+
+std::vector<const HardwareProfile*> ServerProfiles() {
+  std::vector<const HardwareProfile*> out;
+  for (const auto& p : AllProfiles()) {
+    if (p.category != "SBC") out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const HardwareProfile*> OnPremProfiles() {
+  std::vector<const HardwareProfile*> out;
+  for (const auto& p : AllProfiles()) {
+    if (p.category == "On-Premises") out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const HardwareProfile*> CloudProfiles() {
+  std::vector<const HardwareProfile*> out;
+  for (const auto& p : AllProfiles()) {
+    if (p.category == "Cloud") out.push_back(&p);
+  }
+  return out;
+}
+
+}  // namespace wimpi::hw

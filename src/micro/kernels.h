@@ -1,0 +1,30 @@
+#ifndef WIMPI_MICRO_KERNELS_H_
+#define WIMPI_MICRO_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wimpi::micro {
+
+// From-scratch implementations of the paper's four microbenchmark kernels
+// (§II-C). Each is genuinely runnable on the host — the bench harness uses
+// host measurements to ground the modeled per-profile values.
+
+// Whetstone-style synthetic floating-point benchmark. Returns MWIPS
+// (millions of Whetstone-ish instructions per second).
+double RunWhetstone(int64_t loops);
+
+// Dhrystone-style synthetic integer/string benchmark. Returns DMIPS.
+double RunDhrystone(int64_t loops);
+
+// sysbench-style CPU test: verify primality of every number up to
+// `max_prime` by trial division, `events` times. Returns seconds.
+double RunSysbenchPrime(int32_t max_prime, int events);
+
+// sysbench-style sequential memory read over a `buffer_bytes` buffer,
+// `passes` times. Returns GB/s.
+double RunMemoryBandwidth(size_t buffer_bytes, int passes);
+
+}  // namespace wimpi::micro
+
+#endif  // WIMPI_MICRO_KERNELS_H_

@@ -1,0 +1,36 @@
+#include "micro/model.h"
+
+namespace wimpi::micro {
+namespace {
+
+// Normalizations anchored on published Raspberry Pi 3B+ scores.
+// Pi single-core work rate = 1.4 GHz * 0.6 ipc = 0.84e9 units/s.
+constexpr double kMwipsPerRate = 700.0 / 0.84e9;
+constexpr double kDmipsPerRate = 3100.0 / 0.84e9;
+// sysbench --cpu-max-prime=10000: ~2.8e7 trial divisions per event batch.
+constexpr double kPrimeDivisions = 2.8e8;
+
+}  // namespace
+
+double MicrobenchModel::WhetstoneMwips(const hw::HardwareProfile& p,
+                                       bool all_cores) const {
+  return kMwipsPerRate * p.SingleCoreRate() * Scale(p, all_cores);
+}
+
+double MicrobenchModel::DhrystoneDmips(const hw::HardwareProfile& p,
+                                       bool all_cores) const {
+  return kDmipsPerRate * p.SingleCoreRate() * Scale(p, all_cores);
+}
+
+double MicrobenchModel::SysbenchPrimeSeconds(const hw::HardwareProfile& p,
+                                             bool all_cores) const {
+  const double div_rate = p.freq_ghz * 1e9 * p.div_ipc;
+  return kPrimeDivisions / (div_rate * Scale(p, all_cores));
+}
+
+double MicrobenchModel::MemoryBandwidthGbps(const hw::HardwareProfile& p,
+                                            bool all_cores) const {
+  return all_cores ? p.mem_bw_all_gbps : p.mem_bw_single_gbps;
+}
+
+}  // namespace wimpi::micro

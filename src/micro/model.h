@@ -1,0 +1,49 @@
+#ifndef WIMPI_MICRO_MODEL_H_
+#define WIMPI_MICRO_MODEL_H_
+
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+
+namespace wimpi::micro {
+
+// Projects the four microbenchmarks onto a hardware profile (Figure 2 of
+// the paper). Constants are normalized so that the Raspberry Pi 3B+ lands
+// at its commonly published scores (~700 single-core MWIPS, ~3100 DMIPS);
+// all cross-profile ratios then follow from the calibrated profile fields.
+class MicrobenchModel {
+ public:
+  explicit MicrobenchModel(const hw::CostModel& cost_model)
+      : cost_model_(&cost_model) {}
+
+  // Fig 2a: Millions of Whetstone Instructions Per Second.
+  double WhetstoneMwips(const hw::HardwareProfile& p, bool all_cores) const;
+
+  // Fig 2b: Dhrystone MIPS.
+  double DhrystoneDmips(const hw::HardwareProfile& p, bool all_cores) const;
+
+  // Fig 2c: sysbench prime-loop seconds (lower is better). The loop is
+  // divider-bound, so it scales with div_ipc, not general IPC.
+  double SysbenchPrimeSeconds(const hw::HardwareProfile& p,
+                              bool all_cores) const;
+
+  // Fig 2d: sysbench sequential-read bandwidth in GB/s.
+  double MemoryBandwidthGbps(const hw::HardwareProfile& p,
+                             bool all_cores) const;
+
+ private:
+  // Microbenchmark loops are independent per core and scale nearly
+  // linearly, unlike database queries (see CostModelOptions): the paper's
+  // Figure 2 shows 10-90x all-core gaps while TPC-H shows only ~3-10x.
+  double Scale(const hw::HardwareProfile& p, bool all_cores) const {
+    if (!all_cores) return 1.0;
+    double scale = 1.0 + 0.92 * (p.cores - 1);
+    if (p.threads > p.cores) scale *= 1.25;
+    return scale;
+  }
+
+  const hw::CostModel* cost_model_;
+};
+
+}  // namespace wimpi::micro
+
+#endif  // WIMPI_MICRO_MODEL_H_

@@ -1,0 +1,11 @@
+#include "storage/column.h"
+
+namespace wimpi::storage {
+
+void Column::ShrinkToFit() {
+  i32_.shrink_to_fit();
+  i64_.shrink_to_fit();
+  f64_.shrink_to_fit();
+}
+
+}  // namespace wimpi::storage

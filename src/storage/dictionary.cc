@@ -1,0 +1,43 @@
+#include "storage/dictionary.h"
+
+#include "common/logging.h"
+
+namespace wimpi::storage {
+
+int32_t Dictionary::GetOrAdd(std::string_view s) {
+  WIMPI_CHECK(!frozen_) << "GetOrAdd on frozen dictionary";
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(values_.size());
+  values_.emplace_back(s);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+int32_t Dictionary::Find(std::string_view s) const {
+  if (!frozen_) {
+    auto it = index_.find(std::string(s));
+    return it == index_.end() ? -1 : it->second;
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == s) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+void Dictionary::FreezeForRead() {
+  index_.clear();
+  frozen_ = true;
+}
+
+int64_t Dictionary::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& v : values_) {
+    bytes += static_cast<int64_t>(v.capacity()) + sizeof(std::string);
+  }
+  // Rough estimate of unordered_map overhead per entry.
+  bytes += static_cast<int64_t>(index_.size()) * 64;
+  return bytes;
+}
+
+}  // namespace wimpi::storage

@@ -1,0 +1,43 @@
+#ifndef WIMPI_STORAGE_DICTIONARY_H_
+#define WIMPI_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wimpi::storage {
+
+// Order-preserving-insertion string dictionary. Codes are assigned densely
+// in first-seen order; the reverse index is only needed while loading and
+// can be released with FreezeForRead() to reclaim memory.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Returns the code for `s`, inserting it if new.
+  int32_t GetOrAdd(std::string_view s);
+
+  // Returns the code for `s` or -1 if absent. Works after FreezeForRead()
+  // by falling back to a linear scan (only used by tests and point lookups).
+  int32_t Find(std::string_view s) const;
+
+  std::string_view ValueAt(int32_t code) const { return values_[code]; }
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+  // Drops the hash index; the dictionary becomes read-only.
+  void FreezeForRead();
+
+  // Bytes of heap memory used (values + index).
+  int64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+  bool frozen_ = false;
+};
+
+}  // namespace wimpi::storage
+
+#endif  // WIMPI_STORAGE_DICTIONARY_H_

@@ -1,0 +1,62 @@
+#ifndef WIMPI_STORAGE_MEMORY_TRACKER_H_
+#define WIMPI_STORAGE_MEMORY_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace wimpi::storage {
+
+// Tracks logical memory consumption against an optional budget. The WIMPI
+// cluster simulator gives each simulated node a 1 GB tracker; exceeding it
+// does not fail the (host-side) execution but is recorded so the hardware
+// model can apply the microSD spill penalty the paper observed, and so the
+// "swap disabled" failure mode can be simulated (Section III-C4).
+class MemoryTracker {
+ public:
+  // budget_bytes <= 0 means unlimited.
+  explicit MemoryTracker(int64_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  void Consume(int64_t bytes) {
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+  void Release(int64_t bytes) { used_ -= bytes; }
+
+  int64_t used() const { return used_; }
+  int64_t peak() const { return peak_; }
+  int64_t budget() const { return budget_; }
+
+  bool over_budget() const { return budget_ > 0 && used_ > budget_; }
+  // Peak overshoot relative to the budget; 0 when within budget.
+  int64_t PeakOvershoot() const {
+    if (budget_ <= 0 || peak_ <= budget_) return 0;
+    return peak_ - budget_;
+  }
+
+  // Error for callers that treat over-budget as fatal (swap disabled).
+  Status CheckBudget(const std::string& what) const {
+    if (over_budget()) {
+      return Status::OutOfMemory(what + ": " + std::to_string(used_) +
+                                 " bytes used, budget " +
+                                 std::to_string(budget_));
+    }
+    return Status::OK();
+  }
+
+  void Reset() {
+    used_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  int64_t budget_;
+  int64_t used_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace wimpi::storage
+
+#endif  // WIMPI_STORAGE_MEMORY_TRACKER_H_

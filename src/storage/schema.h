@@ -1,0 +1,43 @@
+#ifndef WIMPI_STORAGE_SCHEMA_H_
+#define WIMPI_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace wimpi::storage {
+
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+// Ordered list of named, typed fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+
+  // Index of the field with `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void AddField(std::string name, DataType type) {
+    fields_.push_back({std::move(name), type});
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace wimpi::storage
+
+#endif  // WIMPI_STORAGE_SCHEMA_H_

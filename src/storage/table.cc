@@ -1,0 +1,71 @@
+#include "storage/table.h"
+
+#include <unordered_set>
+
+namespace wimpi::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    columns_.push_back(std::make_unique<Column>(schema_.field(i).type));
+  }
+}
+
+const Column& Table::column(const std::string& name) const {
+  return *columns_[ColumnIndex(name)];
+}
+
+Column& Table::column(const std::string& name) {
+  return *columns_[ColumnIndex(name)];
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  WIMPI_CHECK_GE(idx, 0) << "no column '" << name << "' in table " << name_;
+  return idx;
+}
+
+void Table::FinishLoad() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return;
+  }
+  num_rows_ = columns_[0]->size();
+  for (const auto& col : columns_) {
+    WIMPI_CHECK_EQ(col->size(), num_rows_)
+        << "ragged columns in table " << name_;
+    col->ShrinkToFit();
+  }
+}
+
+int64_t Table::MemoryBytes() const {
+  int64_t bytes = ValueBytes();
+  // Count each distinct dictionary once even if several columns share it.
+  std::unordered_set<const Dictionary*> seen;
+  for (const auto& col : columns_) {
+    if (col->dict() != nullptr && seen.insert(col->dict().get()).second) {
+      bytes += col->dict()->MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+int64_t Table::ValueBytes() const {
+  int64_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->ValueBytes();
+  return bytes;
+}
+
+std::unique_ptr<Table> NewTableLike(const Table& base, std::string name) {
+  auto table = std::make_unique<Table>(std::move(name), base.schema());
+  for (int i = 0; i < base.schema().num_fields(); ++i) {
+    if (base.schema().field(i).type == DataType::kString) {
+      // Replace the fresh empty dictionary with the shared one.
+      table->column(i) = Column(DataType::kString, base.column(i).dict());
+    }
+  }
+  return table;
+}
+
+}  // namespace wimpi::storage

@@ -1,0 +1,55 @@
+#ifndef WIMPI_STORAGE_TABLE_H_
+#define WIMPI_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace wimpi::storage {
+
+// An immutable-after-load, column-oriented in-memory table.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  Column& column(int i) { return *columns_[i]; }
+  const Column& column(int i) const { return *columns_[i]; }
+  // Column lookup by field name; CHECK-fails if absent.
+  const Column& column(const std::string& name) const;
+  Column& column(const std::string& name);
+  int ColumnIndex(const std::string& name) const;
+
+  // Recomputes the row count from column sizes; call after bulk loading.
+  // CHECK-fails if columns disagree.
+  void FinishLoad();
+
+  // Total heap bytes: value arrays plus dictionaries. A dictionary shared
+  // between this table and others is counted here in full (the cluster
+  // simulator's per-node accounting wants logical, not physical, size).
+  int64_t MemoryBytes() const;
+
+  // Bytes of the value arrays only (what a scan streams from memory).
+  int64_t ValueBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+// Creates a table whose string columns share dictionaries with `base` so
+// that partitions of a table do not duplicate dictionary storage.
+std::unique_ptr<Table> NewTableLike(const Table& base, std::string name);
+
+}  // namespace wimpi::storage
+
+#endif  // WIMPI_STORAGE_TABLE_H_

@@ -1,0 +1,52 @@
+#ifndef WIMPI_STORAGE_TYPES_H_
+#define WIMPI_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wimpi::storage {
+
+// Column data types. Strings are always dictionary-encoded (int32 codes
+// into a per-column Dictionary), matching the fixed-width dictionary
+// encoding the paper describes for in-memory DBMSs (Section III-C2).
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64,
+  kFloat64,
+  kDate,    // int32 days since 1970-01-01
+  kString,  // int32 dictionary code
+};
+
+// Width in bytes of the in-memory representation of one value.
+inline int TypeWidth(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+inline const char* TypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kDate:
+      return "date";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace wimpi::storage
+
+#endif  // WIMPI_STORAGE_TYPES_H_

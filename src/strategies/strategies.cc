@@ -1,0 +1,669 @@
+#include "strategies/strategies.h"
+
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "common/strings.h"
+#include "tpch/dbgen.h"
+
+namespace wimpi::strategies {
+namespace {
+
+using engine::Database;
+using exec::OpStats;
+using exec::QueryStats;
+using storage::Column;
+using storage::Table;
+
+// Per-strategy modeling knobs. Branch cost applies per tuple-at-a-time
+// predicate test (mispredict exposure); the random-access discount models
+// how well probes overlap (batched probes prefetch, lone probes stall).
+struct StrategyTraits {
+  double branch_cost;   // extra ops per short-circuit predicate test
+  double vector_cost;   // ops per vectorized predicate element
+  double rand_factor;   // multiplier on probe rand_count
+};
+
+StrategyTraits Traits(Strategy s) {
+  switch (s) {
+    case Strategy::kDataCentric:
+      return {3.0, 0.0, 1.0};
+    case Strategy::kHybrid:
+      return {0.0, 1.2, 0.7};
+    case Strategy::kAccessAware:
+      return {0.0, 1.0, 0.5};
+  }
+  return {0, 0, 0};
+}
+
+void Record(QueryStats* stats, const char* op, double ops, double bytes,
+            double rand_count = 0, double rand_struct = 0) {
+  if (stats == nullptr) return;
+  OpStats s;
+  s.op = op;
+  s.compute_ops = ops;
+  s.seq_bytes = bytes;
+  s.rand_count = rand_count;
+  s.rand_struct_bytes = rand_struct;
+  stats->Add(std::move(s));
+}
+
+StratResult ToResult(const std::map<std::string, double>& m) {
+  return StratResult(m.begin(), m.end());
+}
+
+int32_t Code(const Column& col, std::string_view value) {
+  return col.dict()->Find(value);
+}
+
+// ---------------------------------------------------------------------
+// Q1: scan lineitem, filter on shipdate, aggregate by (rf, ls).
+// ---------------------------------------------------------------------
+StratResult Q1(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const Table& l = db.table("lineitem");
+  const int64_t n = l.num_rows();
+  const int32_t cutoff = ParseDate("1998-12-01") - 90;
+
+  const int32_t* ship = l.column("l_shipdate").I32Data();
+  const int32_t* rf = l.column("l_returnflag").I32Data();
+  const int32_t* ls = l.column("l_linestatus").I32Data();
+  const double* qty = l.column("l_quantity").F64Data();
+  const double* price = l.column("l_extendedprice").F64Data();
+  const double* disc = l.column("l_discount").F64Data();
+  const double* tax = l.column("l_tax").F64Data();
+
+  // Aggregate state indexed by (rf_code, ls_code); both dictionaries are
+  // tiny (<= 3 entries).
+  struct Acc {
+    double qty = 0, base = 0, disc_price = 0, charge = 0;
+    int64_t count = 0;
+  };
+  std::map<std::pair<int32_t, int32_t>, Acc> groups;
+  auto update = [&](int64_t i) {
+    Acc& a = groups[{rf[i], ls[i]}];
+    const double dp = price[i] * (1 - disc[i]);
+    a.qty += qty[i];
+    a.base += price[i];
+    a.disc_price += dp;
+    a.charge += dp * (1 + tax[i]);
+    ++a.count;
+  };
+
+  int64_t selected = 0;
+  if (strat == Strategy::kDataCentric) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (ship[i] > cutoff) continue;  // branch per tuple
+      update(i);
+      ++selected;
+    }
+    Record(stats, "q1_fused_scan",
+           n * (1 + t.branch_cost) + 10.0 * selected,
+           n * 4.0 + selected * (8.0 * 5 + 8));
+  } else if (strat == Strategy::kHybrid) {
+    constexpr int64_t kBlock = 1024;
+    std::vector<int32_t> sel(kBlock);
+    for (int64_t base = 0; base < n; base += kBlock) {
+      const int64_t end = std::min(n, base + kBlock);
+      int64_t cnt = 0;
+      for (int64_t i = base; i < end; ++i) {
+        sel[cnt] = static_cast<int32_t>(i);
+        cnt += ship[i] <= cutoff ? 1 : 0;  // branchless select
+      }
+      for (int64_t k = 0; k < cnt; ++k) update(sel[k]);
+      selected += cnt;
+    }
+    Record(stats, "q1_block_scan",
+           n * t.vector_cost + 10.0 * selected,
+           n * 4.0 + selected * (4 + 8.0 * 5 + 8));
+  } else {  // kAccessAware: full-column bitmap, then dense pass
+    std::vector<uint8_t> pass(n);
+    for (int64_t i = 0; i < n; ++i) pass[i] = ship[i] <= cutoff ? 1 : 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (pass[i]) {
+        update(i);
+        ++selected;
+      }
+    }
+    Record(stats, "q1_pullup_scan",
+           n * t.vector_cost + n * 0.5 + 10.0 * selected,
+           n * 4.0 + 2.0 * n + selected * (8.0 * 5 + 8));
+  }
+
+  std::map<std::string, double> out;
+  const auto& rfd = *l.column("l_returnflag").dict();
+  const auto& lsd = *l.column("l_linestatus").dict();
+  for (const auto& [k, a] : groups) {
+    const std::string key =
+        std::string(rfd.ValueAt(k.first)) + "|" +
+        std::string(lsd.ValueAt(k.second));
+    out[key] = a.disc_price;
+    out[key + "#count"] = static_cast<double>(a.count);
+    out[key + "#charge"] = a.charge;
+  }
+  return ToResult(out);
+}
+
+// ---------------------------------------------------------------------
+// Q6: scan lineitem, three predicates, global sum.
+// ---------------------------------------------------------------------
+StratResult Q6(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const Table& l = db.table("lineitem");
+  const int64_t n = l.num_rows();
+  const int32_t lo = ParseDate("1994-01-01");
+  const int32_t hi = ParseDate("1994-12-31");
+
+  const int32_t* ship = l.column("l_shipdate").I32Data();
+  const double* qty = l.column("l_quantity").F64Data();
+  const double* price = l.column("l_extendedprice").F64Data();
+  const double* disc = l.column("l_discount").F64Data();
+
+  double rev = 0;
+  if (strat == Strategy::kDataCentric) {
+    int64_t s1 = 0, s2 = 0, s3 = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (ship[i] < lo || ship[i] > hi) continue;
+      ++s1;
+      if (disc[i] < 0.05 || disc[i] > 0.07) continue;
+      ++s2;
+      if (qty[i] >= 24) continue;
+      ++s3;
+      rev += price[i] * disc[i];
+    }
+    Record(stats, "q6_fused_scan",
+           n * (1 + t.branch_cost) + s1 * (1 + t.branch_cost) +
+               s2 * (1 + t.branch_cost) + s3 * 2,
+           n * 4.0 + s1 * 8.0 + s2 * 8.0 + s3 * 16.0);
+  } else if (strat == Strategy::kHybrid) {
+    constexpr int64_t kBlock = 1024;
+    std::vector<int32_t> sel(kBlock), sel2(kBlock);
+    int64_t s1 = 0, s2 = 0;
+    for (int64_t base = 0; base < n; base += kBlock) {
+      const int64_t end = std::min(n, base + kBlock);
+      int64_t c1 = 0;
+      for (int64_t i = base; i < end; ++i) {
+        sel[c1] = static_cast<int32_t>(i);
+        c1 += (ship[i] >= lo && ship[i] <= hi) ? 1 : 0;
+      }
+      int64_t c2 = 0;
+      for (int64_t k = 0; k < c1; ++k) {
+        const int32_t i = sel[k];
+        sel2[c2] = i;
+        c2 += (disc[i] >= 0.05 && disc[i] <= 0.07) ? 1 : 0;
+      }
+      for (int64_t k = 0; k < c2; ++k) {
+        const int32_t i = sel2[k];
+        if (qty[i] < 24) rev += price[i] * disc[i];
+      }
+      s1 += c1;
+      s2 += c2;
+    }
+    Record(stats, "q6_block_scan",
+           n * t.vector_cost + s1 * t.vector_cost + s2 * 3,
+           n * 4.0 + s1 * 8.0 + s2 * 24.0);
+  } else {  // kAccessAware
+    std::vector<uint8_t> b1(n), b2(n), b3(n);
+    for (int64_t i = 0; i < n; ++i) b1[i] = ship[i] >= lo && ship[i] <= hi;
+    for (int64_t i = 0; i < n; ++i) b2[i] = disc[i] >= 0.05 && disc[i] <= 0.07;
+    for (int64_t i = 0; i < n; ++i) b3[i] = qty[i] < 24;
+    int64_t s3 = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (b1[i] & b2[i] & b3[i]) {
+        rev += price[i] * disc[i];
+        ++s3;
+      }
+    }
+    Record(stats, "q6_pullup_scan",
+           n * t.vector_cost * 3 + n * 0.5 + s3 * 2,
+           n * (4.0 + 8 + 8) + 6.0 * n + s3 * 16.0);
+  }
+
+  return {{"revenue", rev}};
+}
+
+// ---------------------------------------------------------------------
+// Join-query machinery shared by Q3/Q4/Q5/Q14/Q19: per-key lookup arrays
+// built once per run (build cost recorded identically for all strategies;
+// the strategies differ in the probe/scan loop structure).
+// ---------------------------------------------------------------------
+
+// Scans lineitem with a per-tuple predicate + action, emitting counters in
+// the given strategy's style. `pred_cols_bytes` is the per-tuple byte
+// weight of predicate columns; `payload_bytes` the per-selected-tuple
+// payload weight.
+template <typename Pred, typename Action>
+int64_t StrategyScan(Strategy strat, int64_t n, Pred pred, Action action,
+                     double pred_cols_bytes, double payload_bytes,
+                     double action_ops, QueryStats* stats, const char* name) {
+  const StrategyTraits t = Traits(strat);
+  int64_t selected = 0;
+  if (strat == Strategy::kDataCentric) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (!pred(i)) continue;
+      action(i);
+      ++selected;
+    }
+    Record(stats, name, n * (1 + t.branch_cost) + selected * action_ops,
+           n * pred_cols_bytes + selected * payload_bytes);
+  } else if (strat == Strategy::kHybrid) {
+    constexpr int64_t kBlock = 1024;
+    std::vector<int32_t> sel(kBlock);
+    for (int64_t base = 0; base < n; base += kBlock) {
+      const int64_t end = std::min(n, base + kBlock);
+      int64_t cnt = 0;
+      for (int64_t i = base; i < end; ++i) {
+        sel[cnt] = static_cast<int32_t>(i);
+        cnt += pred(i) ? 1 : 0;
+      }
+      for (int64_t k = 0; k < cnt; ++k) action(sel[k]);
+      selected += cnt;
+    }
+    Record(stats, name, n * t.vector_cost + selected * action_ops,
+           n * pred_cols_bytes + selected * (payload_bytes + 4));
+  } else {  // kAccessAware
+    std::vector<uint8_t> pass(n);
+    for (int64_t i = 0; i < n; ++i) pass[i] = pred(i) ? 1 : 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (pass[i]) {
+        action(i);
+        ++selected;
+      }
+    }
+    Record(stats, name, n * t.vector_cost + n * 0.5 + selected * action_ops,
+           n * pred_cols_bytes + 2.0 * n + selected * payload_bytes);
+  }
+  return selected;
+}
+
+// ---------------------------------------------------------------------
+// Q3
+// ---------------------------------------------------------------------
+StratResult Q3(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const int32_t cutoff = ParseDate("1995-03-15");
+
+  // Build side (identical across strategies).
+  const Table& c = db.table("customer");
+  const int32_t seg = Code(c.column("c_mktsegment"), "BUILDING");
+  std::vector<uint8_t> building(c.num_rows() + 1, 0);
+  {
+    const int32_t* key = c.column("c_custkey").I32Data();
+    const int32_t* m = c.column("c_mktsegment").I32Data();
+    for (int64_t i = 0; i < c.num_rows(); ++i) {
+      if (m[i] == seg) building[key[i]] = 1;
+    }
+    Record(stats, "q3_build_customer", c.num_rows() * 2.0,
+           c.num_rows() * 9.0);
+  }
+  const Table& o = db.table("orders");
+  std::unordered_map<int64_t, int32_t> order_date;
+  {
+    const int64_t* okey = o.column("o_orderkey").I64Data();
+    const int32_t* ckey = o.column("o_custkey").I32Data();
+    const int32_t* date = o.column("o_orderdate").I32Data();
+    for (int64_t i = 0; i < o.num_rows(); ++i) {
+      if (date[i] < cutoff && building[ckey[i]]) order_date[okey[i]] = date[i];
+    }
+    Record(stats, "q3_build_orders", o.num_rows() * 8.0, o.num_rows() * 16.0,
+           o.num_rows(), static_cast<double>(o.num_rows()) * 16);
+  }
+
+  const Table& l = db.table("lineitem");
+  const int64_t* lokey = l.column("l_orderkey").I64Data();
+  const int32_t* ship = l.column("l_shipdate").I32Data();
+  const double* price = l.column("l_extendedprice").F64Data();
+  const double* disc = l.column("l_discount").F64Data();
+
+  std::unordered_map<int64_t, double> revenue;
+  const int64_t selected = StrategyScan(
+      strat, l.num_rows(), [&](int64_t i) { return ship[i] > cutoff; },
+      [&](int64_t i) {
+        auto it = order_date.find(lokey[i]);
+        if (it != order_date.end()) {
+          revenue[lokey[i]] += price[i] * (1 - disc[i]);
+        }
+      },
+      4.0, 24.0, 10.0, stats, "q3_probe_scan");
+  Record(stats, "q3_probes", 0, 0, selected * t.rand_factor,
+         static_cast<double>(order_date.size()) * 24);
+
+  std::map<std::string, double> out;
+  char buf[32];
+  for (const auto& [k, v] : revenue) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(k));
+    out[buf] = v;
+  }
+  return ToResult(out);
+}
+
+// ---------------------------------------------------------------------
+// Q4
+// ---------------------------------------------------------------------
+StratResult Q4(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const Table& l = db.table("lineitem");
+  const int64_t* lokey = l.column("l_orderkey").I64Data();
+  const int32_t* commit = l.column("l_commitdate").I32Data();
+  const int32_t* receipt = l.column("l_receiptdate").I32Data();
+
+  std::unordered_set<int64_t> late;
+  const int64_t sel = StrategyScan(
+      strat, l.num_rows(),
+      [&](int64_t i) { return commit[i] < receipt[i]; },
+      [&](int64_t i) { late.insert(lokey[i]); }, 8.0, 8.0, 6.0, stats,
+      "q4_late_scan");
+  Record(stats, "q4_late_inserts", 0, 0, sel * t.rand_factor,
+         static_cast<double>(late.size()) * 16);
+
+  const int32_t lo = ParseDate("1993-07-01");
+  const int32_t hi = DateAddMonths(lo, 3) - 1;
+  const Table& o = db.table("orders");
+  const int64_t* okey = o.column("o_orderkey").I64Data();
+  const int32_t* date = o.column("o_orderdate").I32Data();
+  const int32_t* prio = o.column("o_orderpriority").I32Data();
+
+  std::map<int32_t, int64_t> counts;
+  const int64_t osel = StrategyScan(
+      strat, o.num_rows(),
+      [&](int64_t i) { return date[i] >= lo && date[i] <= hi; },
+      [&](int64_t i) {
+        if (late.count(okey[i])) ++counts[prio[i]];
+      },
+      4.0, 12.0, 8.0, stats, "q4_order_scan");
+  Record(stats, "q4_order_probes", 0, 0, osel * t.rand_factor,
+         static_cast<double>(late.size()) * 16);
+
+  std::map<std::string, double> out;
+  const auto& pd = *o.column("o_orderpriority").dict();
+  for (const auto& [k, v] : counts) {
+    out[std::string(pd.ValueAt(k))] = static_cast<double>(v);
+  }
+  return ToResult(out);
+}
+
+// ---------------------------------------------------------------------
+// Q5
+// ---------------------------------------------------------------------
+StratResult Q5(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const int32_t lo = ParseDate("1994-01-01");
+  const int32_t hi = ParseDate("1994-12-31");
+
+  // Asia nation bitmap.
+  std::vector<uint8_t> asia(25, 0);
+  {
+    const Table& r = db.table("region");
+    const Table& nt = db.table("nation");
+    int32_t asia_key = -1;
+    for (int64_t i = 0; i < r.num_rows(); ++i) {
+      if (r.column("r_name").StringAt(i) == "ASIA") {
+        asia_key = r.column("r_regionkey").I32Data()[i];
+      }
+    }
+    for (int64_t i = 0; i < nt.num_rows(); ++i) {
+      if (nt.column("n_regionkey").I32Data()[i] == asia_key) {
+        asia[nt.column("n_nationkey").I32Data()[i]] = 1;
+      }
+    }
+  }
+  // customer nation array, supplier nation array.
+  const Table& c = db.table("customer");
+  std::vector<int32_t> cust_nation(c.num_rows() + 1, -1);
+  for (int64_t i = 0; i < c.num_rows(); ++i) {
+    cust_nation[c.column("c_custkey").I32Data()[i]] =
+        c.column("c_nationkey").I32Data()[i];
+  }
+  const Table& s = db.table("supplier");
+  std::vector<int32_t> supp_nation(s.num_rows() + 1, -1);
+  for (int64_t i = 0; i < s.num_rows(); ++i) {
+    supp_nation[s.column("s_suppkey").I32Data()[i]] =
+        s.column("s_nationkey").I32Data()[i];
+  }
+  Record(stats, "q5_build_dims", (c.num_rows() + s.num_rows()) * 2.0,
+         (c.num_rows() + s.num_rows()) * 8.0);
+
+  // Orders within the date range -> customer nation.
+  const Table& o = db.table("orders");
+  std::unordered_map<int64_t, int32_t> order_cnation;
+  {
+    const int64_t* okey = o.column("o_orderkey").I64Data();
+    const int32_t* ckey = o.column("o_custkey").I32Data();
+    const int32_t* date = o.column("o_orderdate").I32Data();
+    for (int64_t i = 0; i < o.num_rows(); ++i) {
+      if (date[i] >= lo && date[i] <= hi) {
+        order_cnation[okey[i]] = cust_nation[ckey[i]];
+      }
+    }
+    Record(stats, "q5_build_orders", o.num_rows() * 6.0, o.num_rows() * 16.0,
+           o.num_rows(), static_cast<double>(order_cnation.size()) * 16);
+  }
+
+  const Table& l = db.table("lineitem");
+  const int64_t* lokey = l.column("l_orderkey").I64Data();
+  const int32_t* lsupp = l.column("l_suppkey").I32Data();
+  const double* price = l.column("l_extendedprice").F64Data();
+  const double* disc = l.column("l_discount").F64Data();
+
+  std::map<int32_t, double> rev;
+  // No scan predicate: the probe itself filters, so all strategies stream
+  // the full payload; they differ in probe batching.
+  const int64_t n = l.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    auto it = order_cnation.find(lokey[i]);
+    if (it == order_cnation.end()) continue;
+    const int32_t sn = supp_nation[lsupp[i]];
+    if (sn == it->second && asia[sn]) rev[sn] += price[i] * (1 - disc[i]);
+  }
+  Record(stats, "q5_probe_scan", n * 8.0, n * 28.0, n * t.rand_factor,
+         static_cast<double>(order_cnation.size()) * 16);
+
+  std::map<std::string, double> out;
+  const Table& nt = db.table("nation");
+  for (const auto& [nk, v] : rev) {
+    out[std::string(nt.column("n_name").StringAt(nk))] = v;
+  }
+  return ToResult(out);
+}
+
+// ---------------------------------------------------------------------
+// Q13
+// ---------------------------------------------------------------------
+StratResult Q13(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const Table& o = db.table("orders");
+  const Table& c = db.table("customer");
+  const int32_t* ckey = o.column("o_custkey").I32Data();
+  const auto& comments = o.column("o_comment");
+  const auto& dict = *comments.dict();
+  const int32_t* codes = comments.I32Data();
+
+  // Comment filter: the LIKE is the expensive part; all strategies
+  // evaluate it per (distinct) comment, but data-centric interleaves it
+  // with the probe loop while access-aware runs a dedicated pass.
+  std::vector<uint8_t> excluded(dict.size());
+  double dict_bytes = 0;
+  for (int32_t i = 0; i < dict.size(); ++i) {
+    const auto v = dict.ValueAt(i);
+    excluded[i] = LikeMatch(v, "%special%requests%") ? 1 : 0;
+    dict_bytes += static_cast<double>(v.size());
+  }
+  Record(stats, "q13_like_pass", static_cast<double>(dict.size()) * 40.0,
+         dict_bytes);
+
+  std::vector<int32_t> per_cust(c.num_rows() + 1, 0);
+  const int64_t n = o.num_rows();
+  const int64_t sel = StrategyScan(
+      strat, n, [&](int64_t i) { return excluded[codes[i]] == 0; },
+      [&](int64_t i) { ++per_cust[ckey[i]]; }, 4.0, 4.0, 2.0, stats,
+      "q13_count_scan");
+  Record(stats, "q13_count_updates", 0, 0, sel * t.rand_factor,
+         static_cast<double>(per_cust.size()) * 4);
+
+  std::map<int64_t, int64_t> dist;
+  for (int64_t i = 1; i <= c.num_rows(); ++i) ++dist[per_cust[i]];
+  Record(stats, "q13_histogram", c.num_rows() * 2.0, c.num_rows() * 4.0);
+
+  std::map<std::string, double> out;
+  char buf[32];
+  for (const auto& [k, v] : dist) {
+    std::snprintf(buf, sizeof(buf), "%06lld", static_cast<long long>(k));
+    out[buf] = static_cast<double>(v);
+  }
+  return ToResult(out);
+}
+
+// ---------------------------------------------------------------------
+// Q14
+// ---------------------------------------------------------------------
+StratResult Q14(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const int32_t lo = ParseDate("1995-09-01");
+  const int32_t hi = DateAddMonths(lo, 1) - 1;
+
+  const Table& p = db.table("part");
+  std::vector<uint8_t> promo(p.num_rows() + 1, 0);
+  {
+    const auto& types = p.column("p_type");
+    const int32_t* pk = p.column("p_partkey").I32Data();
+    for (int64_t i = 0; i < p.num_rows(); ++i) {
+      promo[pk[i]] = StartsWith(types.StringAt(i), "PROMO") ? 1 : 0;
+    }
+    Record(stats, "q14_build_promo", p.num_rows() * 6.0, p.num_rows() * 20.0);
+  }
+
+  const Table& l = db.table("lineitem");
+  const int32_t* ship = l.column("l_shipdate").I32Data();
+  const int32_t* lpart = l.column("l_partkey").I32Data();
+  const double* price = l.column("l_extendedprice").F64Data();
+  const double* disc = l.column("l_discount").F64Data();
+
+  double promo_rev = 0, total = 0;
+  const int64_t sel = StrategyScan(
+      strat, l.num_rows(),
+      [&](int64_t i) { return ship[i] >= lo && ship[i] <= hi; },
+      [&](int64_t i) {
+        const double rev = price[i] * (1 - disc[i]);
+        total += rev;
+        if (promo[lpart[i]]) promo_rev += rev;
+      },
+      4.0, 20.0, 6.0, stats, "q14_scan");
+  Record(stats, "q14_probes", 0, 0, sel * t.rand_factor,
+         static_cast<double>(promo.size()));
+
+  return {{"promo_revenue", total == 0 ? 0 : 100.0 * promo_rev / total}};
+}
+
+// ---------------------------------------------------------------------
+// Q19
+// ---------------------------------------------------------------------
+StratResult Q19(Strategy strat, const Database& db, QueryStats* stats) {
+  const StrategyTraits t = Traits(strat);
+  const Table& p = db.table("part");
+  const Table& l = db.table("lineitem");
+
+  // Dense part-keyed dimension arrays.
+  const int64_t np = p.num_rows();
+  std::vector<int32_t> brand(np + 1), container(np + 1), size(np + 1);
+  {
+    const int32_t* pk = p.column("p_partkey").I32Data();
+    const int32_t* b = p.column("p_brand").I32Data();
+    const int32_t* ct = p.column("p_container").I32Data();
+    const int32_t* sz = p.column("p_size").I32Data();
+    for (int64_t i = 0; i < np; ++i) {
+      brand[pk[i]] = b[i];
+      container[pk[i]] = ct[i];
+      size[pk[i]] = sz[i];
+    }
+    Record(stats, "q19_build_part", np * 4.0, np * 28.0);
+  }
+  const int32_t b12 = Code(p.column("p_brand"), "Brand#12");
+  const int32_t b23 = Code(p.column("p_brand"), "Brand#23");
+  const int32_t b34 = Code(p.column("p_brand"), "Brand#34");
+  auto cset = [&](std::initializer_list<const char*> names) {
+    std::vector<int32_t> v;
+    for (const char* nm : names) v.push_back(Code(p.column("p_container"), nm));
+    return v;
+  };
+  const auto sm = cset({"SM CASE", "SM BOX", "SM PACK", "SM PKG"});
+  const auto med = cset({"MED BAG", "MED BOX", "MED PKG", "MED PACK"});
+  const auto lg = cset({"LG CASE", "LG BOX", "LG PACK", "LG PKG"});
+  auto has = [](const std::vector<int32_t>& v, int32_t x) {
+    for (const int32_t e : v) {
+      if (e == x) return true;
+    }
+    return false;
+  };
+
+  const int32_t instr = Code(l.column("l_shipinstruct"), "DELIVER IN PERSON");
+  const int32_t air = Code(l.column("l_shipmode"), "AIR");
+  const int32_t air_reg = Code(l.column("l_shipmode"), "AIR REG");
+
+  const int32_t* li = l.column("l_shipinstruct").I32Data();
+  const int32_t* lm = l.column("l_shipmode").I32Data();
+  const int32_t* lpart = l.column("l_partkey").I32Data();
+  const double* qty = l.column("l_quantity").F64Data();
+  const double* price = l.column("l_extendedprice").F64Data();
+  const double* disc = l.column("l_discount").F64Data();
+
+  double rev = 0;
+  const int64_t sel = StrategyScan(
+      strat, l.num_rows(),
+      [&](int64_t i) {
+        return li[i] == instr && (lm[i] == air || lm[i] == air_reg);
+      },
+      [&](int64_t i) {
+        const int32_t pk = lpart[i];
+        const bool m1 = brand[pk] == b12 && has(sm, container[pk]) &&
+                        qty[i] >= 1 && qty[i] <= 11 && size[pk] >= 1 &&
+                        size[pk] <= 5;
+        const bool m2 = brand[pk] == b23 && has(med, container[pk]) &&
+                        qty[i] >= 10 && qty[i] <= 20 && size[pk] >= 1 &&
+                        size[pk] <= 10;
+        const bool m3 = brand[pk] == b34 && has(lg, container[pk]) &&
+                        qty[i] >= 20 && qty[i] <= 30 && size[pk] >= 1 &&
+                        size[pk] <= 15;
+        if (m1 || m2 || m3) rev += price[i] * (1 - disc[i]);
+      },
+      8.0, 28.0, 12.0, stats, "q19_scan");
+  Record(stats, "q19_probes", 0, 0, sel * 3 * t.rand_factor,
+         static_cast<double>(np) * 12);
+
+  return {{"revenue", rev}};
+}
+
+}  // namespace
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDataCentric:
+      return "data-centric";
+    case Strategy::kHybrid:
+      return "hybrid";
+    case Strategy::kAccessAware:
+      return "access-aware";
+  }
+  return "?";
+}
+
+StratResult RunStrategy(int q, Strategy s, const Database& db,
+                        QueryStats* stats) {
+  switch (q) {
+    case 1: return Q1(s, db, stats);
+    case 3: return Q3(s, db, stats);
+    case 4: return Q4(s, db, stats);
+    case 5: return Q5(s, db, stats);
+    case 6: return Q6(s, db, stats);
+    case 13: return Q13(s, db, stats);
+    case 14: return Q14(s, db, stats);
+    case 19: return Q19(s, db, stats);
+    default:
+      WIMPI_CHECK(false) << "Q" << q << " has no strategy implementation";
+      return {};
+  }
+}
+
+}  // namespace wimpi::strategies

@@ -1,0 +1,49 @@
+#ifndef WIMPI_STRATEGIES_STRATEGIES_H_
+#define WIMPI_STRATEGIES_STRATEGIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/counters.h"
+
+namespace wimpi::strategies {
+
+// The three query-execution paradigms compared in Figure 4, following the
+// paper's cited "Getting Swole" taxonomy (Crotty et al., ICDE 2020):
+//
+//  kDataCentric  - fully fused tuple-at-a-time loops: evaluate every
+//                  predicate with short-circuit branches per tuple, probe
+//                  join tables and update aggregates inline.
+//  kHybrid       - relaxed operator fusion: vectorized predicate evaluation
+//                  over fixed-size blocks into selection vectors, fused
+//                  probe/aggregate stage over the survivors.
+//  kAccessAware  - predicate pullup: every predicate is evaluated over the
+//                  full column into a bitmap (no branches, perfectly
+//                  sequential), bitmaps are combined, survivors are
+//                  gathered densely, then joined/aggregated. Trades extra
+//                  memory traffic for consistent access patterns.
+//
+// All strategies run single-threaded (as in the paper) and are hand-coded
+// loops, not engine plans.
+enum class Strategy { kDataCentric, kHybrid, kAccessAware };
+
+const char* StrategyName(Strategy s);
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kDataCentric, Strategy::kHybrid, Strategy::kAccessAware};
+
+// Canonical result: (group key rendering, aggregate value) pairs, sorted by
+// key. Strategies compute the query's core scan/join/aggregate work; final
+// presentation (ORDER BY / LIMIT) is excluded, as in the paper's low-level
+// experiments.
+using StratResult = std::vector<std::pair<std::string, double>>;
+
+// Runs query q (one of 1,3,4,5,6,13,14,19) with strategy `s`.
+StratResult RunStrategy(int q, Strategy s, const engine::Database& db,
+                        exec::QueryStats* stats);
+
+}  // namespace wimpi::strategies
+
+#endif  // WIMPI_STRATEGIES_STRATEGIES_H_

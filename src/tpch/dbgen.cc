@@ -1,0 +1,443 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/date.h"
+#include "common/decimal.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "tpch/text.h"
+
+namespace wimpi::tpch {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+
+// Fixed nation -> region assignment from the TPC-H specification.
+struct NationSpec {
+  const char* name;
+  int32_t regionkey;
+};
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},  {"ARGENTINA", 1}, {"BRAZIL", 1},    {"CANADA", 1},
+    {"EGYPT", 4},    {"ETHIOPIA", 0},  {"FRANCE", 3},    {"GERMANY", 3},
+    {"INDIA", 2},    {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},    {"JORDAN", 4},    {"KENYA", 0},     {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0}, {"PERU", 1},    {"CHINA", 2},     {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},  {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                       "TRUCK",   "MAIL", "FOB"};
+
+constexpr const char* kShipInstructs[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                           "NONE", "TAKE BACK RETURN"};
+
+constexpr const char* kTypeSyl1[6] = {"STANDARD", "SMALL",   "MEDIUM",
+                                      "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                      "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                      "COPPER"};
+
+constexpr const char* kContainer1[5] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+constexpr const char* kContainer2[8] = {"CASE", "BOX", "BAG", "JAR",
+                                        "PKG",  "PACK", "CAN", "DRUM"};
+
+// Per-entity RNG: values depend only on (seed, table tag, key).
+Rng EntityRng(uint64_t seed, uint64_t table_tag, int64_t key) {
+  uint64_t h = HashCombine(HashInt64(seed), table_tag);
+  h = HashCombine(h, static_cast<uint64_t>(key));
+  return Rng(h);
+}
+
+enum TableTag : uint64_t {
+  kTagSupplier = 1,
+  kTagPart = 2,
+  kTagPartsupp = 3,
+  kTagCustomer = 4,
+  kTagOrders = 5,
+  kTagLineitem = 6,
+};
+
+double MoneyUniform(Rng* rng, int64_t lo_cents, int64_t hi_cents) {
+  return static_cast<double>(rng->Uniform(lo_cents, hi_cents)) / 100.0;
+}
+
+}  // namespace
+
+RowCounts RowCountsFor(double sf) {
+  RowCounts c;
+  c.supplier = std::max<int64_t>(1, std::llround(10000 * sf));
+  c.part = std::max<int64_t>(4, std::llround(200000 * sf));
+  c.customer = std::max<int64_t>(3, std::llround(150000 * sf));
+  c.orders = std::max<int64_t>(1, std::llround(1500000 * sf));
+  c.partsupp = 4 * c.part;
+  return c;
+}
+
+int32_t SupplierForPart(int32_t partkey, int i, int64_t num_suppliers) {
+  const int64_t s = num_suppliers;
+  const int64_t step = std::max<int64_t>(1, s / 4);
+  return static_cast<int32_t>((partkey - 1 + i * step) % s + 1);
+}
+
+double RetailPrice(int32_t p) {
+  return (90000.0 + ((p / 10) % 20001) + 100.0 * (p % 1000)) / 100.0;
+}
+
+int32_t StartDate() { return DateFromCivil(1992, 1, 1); }
+int32_t CurrentDate() { return DateFromCivil(1995, 6, 17); }
+int32_t EndDate() { return DateFromCivil(1998, 12, 31); }
+
+std::shared_ptr<Table> GenerateRegion(const GenOptions& opts) {
+  Schema schema({{"r_regionkey", DataType::kInt32},
+                 {"r_name", DataType::kString},
+                 {"r_comment", DataType::kString}});
+  auto t = std::make_shared<Table>("region", schema);
+  Rng rng(opts.seed ^ 0xfeed);
+  for (int32_t r = 0; r < 5; ++r) {
+    t->column(0).AppendInt32(r);
+    t->column(1).AppendString(kRegions[r]);
+    t->column(2).AppendString(
+        opts.include_unused_text ? RandomText(&rng, 40) : "");
+  }
+  t->FinishLoad();
+  return t;
+}
+
+std::shared_ptr<Table> GenerateNation(const GenOptions& opts) {
+  Schema schema({{"n_nationkey", DataType::kInt32},
+                 {"n_name", DataType::kString},
+                 {"n_regionkey", DataType::kInt32},
+                 {"n_comment", DataType::kString}});
+  auto t = std::make_shared<Table>("nation", schema);
+  Rng rng(opts.seed ^ 0xbeef);
+  for (int32_t n = 0; n < 25; ++n) {
+    t->column(0).AppendInt32(n);
+    t->column(1).AppendString(kNations[n].name);
+    t->column(2).AppendInt32(kNations[n].regionkey);
+    t->column(3).AppendString(
+        opts.include_unused_text ? RandomText(&rng, 40) : "");
+  }
+  t->FinishLoad();
+  return t;
+}
+
+std::shared_ptr<Table> GenerateSupplier(const GenOptions& opts) {
+  const RowCounts counts = RowCountsFor(opts.scale_factor);
+  Schema schema({{"s_suppkey", DataType::kInt32},
+                 {"s_name", DataType::kString},
+                 {"s_address", DataType::kString},
+                 {"s_nationkey", DataType::kInt32},
+                 {"s_phone", DataType::kString},
+                 {"s_acctbal", DataType::kFloat64},
+                 {"s_comment", DataType::kString}});
+  auto t = std::make_shared<Table>("supplier", schema);
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    t->column(i).Reserve(counts.supplier);
+  }
+  for (int64_t k = 1; k <= counts.supplier; ++k) {
+    Rng rng = EntityRng(opts.seed, kTagSupplier, k);
+    const auto nation = static_cast<int32_t>(rng.Uniform(0, 24));
+    t->column(0).AppendInt32(static_cast<int32_t>(k));
+    t->column(1).AppendString(NumberedName("Supplier", k));
+    t->column(2).AppendString(AddressText(&rng));
+    t->column(3).AppendInt32(nation);
+    t->column(4).AppendString(PhoneNumber(&rng, nation));
+    t->column(5).AppendFloat64(MoneyUniform(&rng, -99999, 999999));
+    t->column(6).AppendString(SupplierComment(&rng));
+  }
+  t->FinishLoad();
+  return t;
+}
+
+std::shared_ptr<Table> GeneratePart(const GenOptions& opts) {
+  const RowCounts counts = RowCountsFor(opts.scale_factor);
+  Schema schema({{"p_partkey", DataType::kInt32},
+                 {"p_name", DataType::kString},
+                 {"p_mfgr", DataType::kString},
+                 {"p_brand", DataType::kString},
+                 {"p_type", DataType::kString},
+                 {"p_size", DataType::kInt32},
+                 {"p_container", DataType::kString},
+                 {"p_retailprice", DataType::kFloat64},
+                 {"p_comment", DataType::kString}});
+  auto t = std::make_shared<Table>("part", schema);
+  for (int i = 0; i < schema.num_fields(); ++i) t->column(i).Reserve(counts.part);
+
+  for (int64_t k = 1; k <= counts.part; ++k) {
+    Rng rng = EntityRng(opts.seed, kTagPart, k);
+    // p_name: five distinct colors.
+    int idx[5];
+    for (int i = 0; i < 5; ++i) {
+      bool dup;
+      do {
+        idx[i] = static_cast<int>(rng.Uniform(0, kNumColors - 1));
+        dup = false;
+        for (int j = 0; j < i; ++j) dup = dup || idx[j] == idx[i];
+      } while (dup);
+    }
+    std::string name;
+    for (int i = 0; i < 5; ++i) {
+      if (i > 0) name += ' ';
+      name += kColors[idx[i]];
+    }
+    const int m = static_cast<int>(rng.Uniform(1, 5));
+    const int n = static_cast<int>(rng.Uniform(1, 5));
+    char mfgr[32], brand[32];
+    std::snprintf(mfgr, sizeof(mfgr), "Manufacturer#%d", m);
+    std::snprintf(brand, sizeof(brand), "Brand#%d%d", m, n);
+    std::string type = kTypeSyl1[rng.Uniform(0, 5)];
+    type += ' ';
+    type += kTypeSyl2[rng.Uniform(0, 4)];
+    type += ' ';
+    type += kTypeSyl3[rng.Uniform(0, 4)];
+    std::string container = kContainer1[rng.Uniform(0, 4)];
+    container += ' ';
+    container += kContainer2[rng.Uniform(0, 7)];
+
+    t->column(0).AppendInt32(static_cast<int32_t>(k));
+    t->column(1).AppendString(name);
+    t->column(2).AppendString(mfgr);
+    t->column(3).AppendString(brand);
+    t->column(4).AppendString(type);
+    t->column(5).AppendInt32(static_cast<int32_t>(rng.Uniform(1, 50)));
+    t->column(6).AppendString(container);
+    t->column(7).AppendFloat64(RetailPrice(static_cast<int32_t>(k)));
+    t->column(8).AppendString(
+        opts.include_unused_text ? RandomText(&rng, 15) : "");
+  }
+  t->FinishLoad();
+  return t;
+}
+
+std::shared_ptr<Table> GeneratePartsupp(const GenOptions& opts) {
+  const RowCounts counts = RowCountsFor(opts.scale_factor);
+  Schema schema({{"ps_partkey", DataType::kInt32},
+                 {"ps_suppkey", DataType::kInt32},
+                 {"ps_availqty", DataType::kInt32},
+                 {"ps_supplycost", DataType::kFloat64},
+                 {"ps_comment", DataType::kString}});
+  auto t = std::make_shared<Table>("partsupp", schema);
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    t->column(i).Reserve(counts.partsupp);
+  }
+  for (int64_t p = 1; p <= counts.part; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      Rng rng = EntityRng(opts.seed, kTagPartsupp, p * 4 + i);
+      t->column(0).AppendInt32(static_cast<int32_t>(p));
+      t->column(1).AppendInt32(
+          SupplierForPart(static_cast<int32_t>(p), i, counts.supplier));
+      t->column(2).AppendInt32(static_cast<int32_t>(rng.Uniform(1, 9999)));
+      t->column(3).AppendFloat64(MoneyUniform(&rng, 100, 100000));
+      t->column(4).AppendString(
+          opts.include_unused_text ? RandomText(&rng, 30) : "");
+    }
+  }
+  t->FinishLoad();
+  return t;
+}
+
+std::shared_ptr<Table> GenerateCustomer(const GenOptions& opts) {
+  const RowCounts counts = RowCountsFor(opts.scale_factor);
+  Schema schema({{"c_custkey", DataType::kInt32},
+                 {"c_name", DataType::kString},
+                 {"c_address", DataType::kString},
+                 {"c_nationkey", DataType::kInt32},
+                 {"c_phone", DataType::kString},
+                 {"c_acctbal", DataType::kFloat64},
+                 {"c_mktsegment", DataType::kString},
+                 {"c_comment", DataType::kString}});
+  auto t = std::make_shared<Table>("customer", schema);
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    t->column(i).Reserve(counts.customer);
+  }
+  for (int64_t k = 1; k <= counts.customer; ++k) {
+    Rng rng = EntityRng(opts.seed, kTagCustomer, k);
+    const auto nation = static_cast<int32_t>(rng.Uniform(0, 24));
+    t->column(0).AppendInt32(static_cast<int32_t>(k));
+    t->column(1).AppendString(NumberedName("Customer", k));
+    t->column(2).AppendString(AddressText(&rng));
+    t->column(3).AppendInt32(nation);
+    t->column(4).AppendString(PhoneNumber(&rng, nation));
+    t->column(5).AppendFloat64(MoneyUniform(&rng, -99999, 999999));
+    t->column(6).AppendString(kSegments[rng.Uniform(0, 4)]);
+    t->column(7).AppendString(
+        opts.include_unused_text ? RandomText(&rng, 40) : "");
+  }
+  t->FinishLoad();
+  return t;
+}
+
+void GenerateOrdersAndLineitem(const GenOptions& opts,
+                               std::shared_ptr<Table>* orders_out,
+                               std::shared_ptr<Table>* lineitem_out) {
+  const RowCounts counts = RowCountsFor(opts.scale_factor);
+
+  Schema oschema({{"o_orderkey", DataType::kInt64},
+                  {"o_custkey", DataType::kInt32},
+                  {"o_orderstatus", DataType::kString},
+                  {"o_totalprice", DataType::kFloat64},
+                  {"o_orderdate", DataType::kDate},
+                  {"o_orderpriority", DataType::kString},
+                  {"o_clerk", DataType::kString},
+                  {"o_shippriority", DataType::kInt32},
+                  {"o_comment", DataType::kString}});
+  auto orders = std::make_shared<Table>("orders", oschema);
+  for (int i = 0; i < oschema.num_fields(); ++i) {
+    orders->column(i).Reserve(counts.orders);
+  }
+
+  Schema lschema({{"l_orderkey", DataType::kInt64},
+                  {"l_partkey", DataType::kInt32},
+                  {"l_suppkey", DataType::kInt32},
+                  {"l_linenumber", DataType::kInt32},
+                  {"l_quantity", DataType::kFloat64},
+                  {"l_extendedprice", DataType::kFloat64},
+                  {"l_discount", DataType::kFloat64},
+                  {"l_tax", DataType::kFloat64},
+                  {"l_returnflag", DataType::kString},
+                  {"l_linestatus", DataType::kString},
+                  {"l_shipdate", DataType::kDate},
+                  {"l_commitdate", DataType::kDate},
+                  {"l_receiptdate", DataType::kDate},
+                  {"l_shipinstruct", DataType::kString},
+                  {"l_shipmode", DataType::kString},
+                  {"l_comment", DataType::kString}});
+  auto lineitem = std::make_shared<Table>("lineitem", lschema);
+  const int64_t est_lines = counts.orders * 4;
+  for (int i = 0; i < lschema.num_fields(); ++i) {
+    lineitem->column(i).Reserve(est_lines);
+  }
+
+  const int32_t start = StartDate();
+  const int32_t current = CurrentDate();
+  // o_orderdate range leaves room for the longest shipping chain
+  // (121 + 30 days) before END_DATE, per the spec.
+  const int32_t last_order_date = EndDate() - 151;
+
+  for (int64_t okey = 1; okey <= counts.orders; ++okey) {
+    Rng rng = EntityRng(opts.seed, kTagOrders, okey);
+    // Customers with custkey % 3 == 0 never place orders (dbgen rule that
+    // Q13/Q22 depend on).
+    int64_t custkey;
+    do {
+      custkey = rng.Uniform(1, counts.customer);
+    } while (custkey % 3 == 0 && counts.customer >= 3);
+    const auto odate =
+        static_cast<int32_t>(rng.Uniform(start, last_order_date));
+    const int n_lines = static_cast<int>(rng.Uniform(1, 7));
+
+    double total = 0;
+    int n_open = 0;
+    for (int ln = 1; ln <= n_lines; ++ln) {
+      Rng lrng = EntityRng(opts.seed, kTagLineitem, okey * 8 + ln);
+      const auto partkey =
+          static_cast<int32_t>(lrng.Uniform(1, counts.part));
+      const int supp_i = static_cast<int>(lrng.Uniform(0, 3));
+      const int32_t suppkey =
+          SupplierForPart(partkey, supp_i, counts.supplier);
+      const double qty = static_cast<double>(lrng.Uniform(1, 50));
+      const double price = RetailPrice(partkey) * qty;
+      const double discount =
+          static_cast<double>(lrng.Uniform(0, 10)) / 100.0;
+      const double tax = static_cast<double>(lrng.Uniform(0, 8)) / 100.0;
+      const auto shipdate =
+          static_cast<int32_t>(odate + lrng.Uniform(1, 121));
+      const auto commitdate =
+          static_cast<int32_t>(odate + lrng.Uniform(30, 90));
+      const auto receiptdate =
+          static_cast<int32_t>(shipdate + lrng.Uniform(1, 30));
+      const bool shipped = shipdate <= current;
+      const char* returnflag =
+          receiptdate <= current ? (lrng.Bernoulli(0.5) ? "R" : "A") : "N";
+      const char* linestatus = shipped ? "F" : "O";
+      if (!shipped) ++n_open;
+      total += price * (1.0 - discount) * (1.0 + tax);
+
+      lineitem->column(0).AppendInt64(okey);
+      lineitem->column(1).AppendInt32(partkey);
+      lineitem->column(2).AppendInt32(suppkey);
+      lineitem->column(3).AppendInt32(ln);
+      lineitem->column(4).AppendFloat64(qty);
+      lineitem->column(5).AppendFloat64(price);
+      lineitem->column(6).AppendFloat64(discount);
+      lineitem->column(7).AppendFloat64(tax);
+      lineitem->column(8).AppendString(returnflag);
+      lineitem->column(9).AppendString(linestatus);
+      lineitem->column(10).AppendInt32(shipdate);
+      lineitem->column(11).AppendInt32(commitdate);
+      lineitem->column(12).AppendInt32(receiptdate);
+      lineitem->column(13).AppendString(kShipInstructs[lrng.Uniform(0, 3)]);
+      lineitem->column(14).AppendString(kShipModes[lrng.Uniform(0, 6)]);
+      lineitem->column(15).AppendString(
+          opts.include_unused_text ? RandomText(&lrng, 20) : "");
+    }
+
+    const char* status = n_open == 0 ? "F" : (n_open == n_lines ? "O" : "P");
+    orders->column(0).AppendInt64(okey);
+    orders->column(1).AppendInt32(static_cast<int32_t>(custkey));
+    orders->column(2).AppendString(status);
+    orders->column(3).AppendFloat64(total);
+    orders->column(4).AppendInt32(odate);
+    orders->column(5).AppendString(kPriorities[rng.Uniform(0, 4)]);
+    orders->column(6).AppendString(
+        opts.include_unused_text ? NumberedName("Clerk", rng.Uniform(1, 1000))
+                                 : "");
+    orders->column(7).AppendInt32(0);
+    // Spec average o_comment length is ~48 chars; ~1% carry the
+    // "special ... requests" phrase Q13 filters on.
+    orders->column(8).AppendString(CommentText(&rng, 48, 0.01));
+  }
+
+  orders->FinishLoad();
+  lineitem->FinishLoad();
+  *orders_out = std::move(orders);
+  *lineitem_out = std::move(lineitem);
+}
+
+engine::Database GenerateDatabase(const GenOptions& opts) {
+  engine::Database db;
+  db.AddTable(GenerateRegion(opts));
+  db.AddTable(GenerateNation(opts));
+  db.AddTable(GenerateSupplier(opts));
+  db.AddTable(GeneratePart(opts));
+  db.AddTable(GeneratePartsupp(opts));
+  db.AddTable(GenerateCustomer(opts));
+  std::shared_ptr<Table> orders, lineitem;
+  GenerateOrdersAndLineitem(opts, &orders, &lineitem);
+  db.AddTable(std::move(orders));
+  db.AddTable(std::move(lineitem));
+  return db;
+}
+
+double LogicalTableBytes(const std::string& table, double sf) {
+  // Approximate per-row in-memory bytes of a full (all text populated)
+  // dictionary-encoded columnar representation, derived from the spec's
+  // average row widths.
+  const RowCounts c = RowCountsFor(sf);
+  if (table == "lineitem") return static_cast<double>(c.orders) * 4 * 120;
+  if (table == "orders") return static_cast<double>(c.orders) * 130;
+  if (table == "customer") return static_cast<double>(c.customer) * 230;
+  if (table == "part") return static_cast<double>(c.part) * 180;
+  if (table == "partsupp") return static_cast<double>(c.partsupp) * 170;
+  if (table == "supplier") return static_cast<double>(c.supplier) * 230;
+  if (table == "nation") return 25 * 150.0;
+  if (table == "region") return 5 * 150.0;
+  return 0;
+}
+
+}  // namespace wimpi::tpch

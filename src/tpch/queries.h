@@ -1,0 +1,31 @@
+#ifndef WIMPI_TPCH_QUERIES_H_
+#define WIMPI_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/counters.h"
+#include "exec/relation.h"
+
+namespace wimpi::tpch {
+
+// Runs TPC-H query `q` (1..22) against `db`, returning the result relation
+// and recording abstract work in `stats` (pass nullptr to skip
+// instrumentation). Queries are hand-written physical plans over the
+// column-at-a-time operator library; correlated subqueries are manually
+// decorrelated in the standard way.
+exec::Relation RunQuery(int q, const engine::Database& db,
+                        exec::QueryStats* stats);
+
+// The eight-query subset used by the paper for the SF 10 distributed
+// experiments (the TPC-H "choke point" subset of Menon et al. / Crotty et
+// al. that the paper cites).
+inline constexpr int kSf10Queries[] = {1, 3, 4, 5, 6, 13, 14, 19};
+inline constexpr int kNumSf10Queries = 8;
+
+// True if query `q` is in the SF 10 subset.
+bool InSf10Subset(int q);
+
+}  // namespace wimpi::tpch
+
+#endif  // WIMPI_TPCH_QUERIES_H_

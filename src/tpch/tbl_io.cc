@@ -1,0 +1,98 @@
+#include "tpch/tbl_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace wimpi::tpch {
+
+Result<int64_t> WriteTbl(const storage::Table& table,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  char buf[64];
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.schema().num_fields(); ++c) {
+      const storage::Column& col = table.column(c);
+      switch (col.type()) {
+        case storage::DataType::kInt32:
+          std::snprintf(buf, sizeof(buf), "%d", col.I32Data()[r]);
+          out << buf;
+          break;
+        case storage::DataType::kInt64:
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(col.I64Data()[r]));
+          out << buf;
+          break;
+        case storage::DataType::kFloat64:
+          std::snprintf(buf, sizeof(buf), "%.2f", col.F64Data()[r]);
+          out << buf;
+          break;
+        case storage::DataType::kDate:
+          out << FormatDate(col.I32Data()[r]);
+          break;
+        case storage::DataType::kString:
+          out << col.StringAt(r);
+          break;
+      }
+      out << '|';
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return table.num_rows();
+}
+
+Result<int64_t> ReadTbl(const std::string& path, storage::Table* table) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  const int n_cols = table->schema().num_fields();
+  std::string line;
+  int64_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // dbgen terminates each row with '|', so drop the trailing empty piece.
+    std::vector<std::string> fields = Split(line, '|');
+    if (!fields.empty() && fields.back().empty()) fields.pop_back();
+    if (static_cast<int>(fields.size()) != n_cols) {
+      return Status::InvalidArgument(
+          path + ": row " + std::to_string(rows + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(n_cols));
+    }
+    for (int c = 0; c < n_cols; ++c) {
+      storage::Column& col = table->column(c);
+      const std::string& f = fields[c];
+      switch (col.type()) {
+        case storage::DataType::kInt32:
+          col.AppendInt32(static_cast<int32_t>(std::strtol(f.c_str(),
+                                                           nullptr, 10)));
+          break;
+        case storage::DataType::kInt64:
+          col.AppendInt64(std::strtoll(f.c_str(), nullptr, 10));
+          break;
+        case storage::DataType::kFloat64:
+          col.AppendFloat64(std::strtod(f.c_str(), nullptr));
+          break;
+        case storage::DataType::kDate:
+          col.AppendInt32(ParseDate(f));
+          break;
+        case storage::DataType::kString:
+          col.AppendString(f);
+          break;
+      }
+    }
+    ++rows;
+  }
+  return rows;
+}
+
+}  // namespace wimpi::tpch

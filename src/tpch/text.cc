@@ -1,0 +1,141 @@
+#include "tpch/text.h"
+
+#include <cstdio>
+
+namespace wimpi::tpch {
+
+const char* const kColors[92] = {
+    "almond",    "antique",   "aquamarine", "forest",    "azure",
+    "beige",     "bisque",    "black",      "blanched",  "blue",
+    "blush",     "brown",     "burlywood",  "burnished", "chartreuse",
+    "chiffon",   "chocolate", "coral",      "cornflower", "cornsilk",
+    "cream",     "cyan",      "dark",       "deep",      "dim",
+    "dodger",    "drab",      "firebrick",  "floral",    "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "honeydew",  "hot",
+    "indian",    "ivory",     "khaki",      "lace",      "lavender",
+    "lawn",      "lemon",     "light",      "green",     "linen",
+    "magenta",   "maroon",    "medium",     "metallic",  "midnight",
+    "mint",      "misty",     "moccasin",   "navajo",    "navy",
+    "olive",     "orange",    "orchid",     "pale",      "papaya",
+    "peach",     "peru",      "pink",       "plum",      "powder",
+    "puff",      "purple",    "red",        "rose",      "rosy",
+    "royal",     "saddle",    "salmon",     "sandy",     "seashell",
+    "sienna",    "sky",       "slate",      "smoke",     "snow",
+    "spring",    "steel",     "tan",        "thistle",   "tomato",
+    "turquoise", "violet",    "wheat",      "white",     "yellow",
+    "ultramarine", "vermilion"};
+
+namespace {
+
+const char* const kNouns[] = {
+    "packages", "requests", "accounts", "deposits",  "foxes",
+    "ideas",    "theodolites", "pinto beans", "instructions", "dependencies",
+    "excuses",  "platelets", "asymptotes", "courts",  "dolphins",
+    "multipliers", "sauternes", "warthogs", "frets",  "dinos"};
+
+const char* const kVerbs[] = {
+    "sleep",  "wake",    "are",     "cajole",  "haggle",
+    "nag",    "use",     "boost",   "affix",   "detect",
+    "integrate", "maintain", "nod", "was",     "lose",
+    "sublate", "solve",  "thrash",  "promise", "engage"};
+
+const char* const kAdjectives[] = {
+    "furious", "sly",    "careful", "blithe",  "quick",
+    "fluffy",  "slow",   "quiet",   "ruthless", "thin",
+    "close",   "dogged", "daring",  "brave",   "stealthy",
+    "permanent", "enticing", "idle", "busy",   "regular",
+    "final",   "ironic", "even",    "bold",    "silent",
+    "special", "pending", "express", "unusual"};
+
+const char* const kAdverbs[] = {
+    "sometimes", "always",  "never",   "furiously", "slyly",
+    "carefully", "blithely", "quickly", "fluffily",  "slowly",
+    "quietly",   "ruthlessly", "thinly", "closely",  "doggedly",
+    "daringly",  "bravely", "stealthily", "permanently", "enticingly",
+    "idly",      "busily",  "regularly", "finally",  "ironically",
+    "evenly",    "boldly",  "silently"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&arr)[N]) {
+  return arr[rng->Uniform(0, static_cast<int64_t>(N) - 1)];
+}
+
+}  // namespace
+
+std::string RandomText(Rng* rng, int target_len) {
+  std::string out;
+  out.reserve(target_len + 16);
+  while (static_cast<int>(out.size()) < target_len) {
+    if (!out.empty()) out += ' ';
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        out += Pick(rng, kAdverbs);
+        break;
+      case 1:
+        out += Pick(rng, kAdjectives);
+        break;
+      case 2:
+        out += Pick(rng, kNouns);
+        break;
+      default:
+        out += Pick(rng, kVerbs);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string CommentText(Rng* rng, int target_len, double special_prob) {
+  std::string out = RandomText(rng, target_len);
+  if (special_prob > 0 && rng->Bernoulli(special_prob)) {
+    out += " special ";
+    out += Pick(rng, kAdjectives);
+    out += " requests";
+  }
+  return out;
+}
+
+std::string SupplierComment(Rng* rng) {
+  const double r = rng->NextDouble();
+  std::string out = RandomText(rng, 40);
+  if (r < 5.0 / 10000.0) {
+    out += " Customer ";
+    out += Pick(rng, kAdjectives);
+    out += " Complaints";
+  } else if (r < 10.0 / 10000.0) {
+    out += " Customer ";
+    out += Pick(rng, kAdjectives);
+    out += " Recommends";
+  }
+  return out;
+}
+
+std::string NumberedName(const char* prefix, int64_t key) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s#%09lld", prefix,
+                static_cast<long long>(key));
+  return buf;
+}
+
+std::string PhoneNumber(Rng* rng, int32_t nationkey) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d", 10 + nationkey,
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+std::string AddressText(Rng* rng) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+  const int len = static_cast<int>(rng->Uniform(10, 40));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out += kChars[rng->Uniform(0, sizeof(kChars) - 2)];
+  }
+  return out;
+}
+
+}  // namespace wimpi::tpch

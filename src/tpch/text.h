@@ -1,0 +1,48 @@
+#ifndef WIMPI_TPCH_TEXT_H_
+#define WIMPI_TPCH_TEXT_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace wimpi::tpch {
+
+// Pseudo-text generation in the spirit of TPC-H dbgen's grammar. The exact
+// corpus differs from dbgen's (which is copyrighted spec text), but the
+// properties the queries depend on are preserved:
+//   * p_name is a space-separated list of 5 distinct colors from a 92-color
+//     list including "green" (Q9, Q17, Q20) and "forest" (Q20);
+//   * comments occasionally contain "special ... requests" (Q13) and
+//     supplier comments "Customer ... Complaints" / "... Recommends" (Q16)
+//     at roughly dbgen's rates.
+
+// 92 color words; index 3 is "forest", index 43 is "green".
+extern const char* const kColors[92];
+inline constexpr int kNumColors = 92;
+
+// Random sentence of roughly `target_len` characters from a noun/verb/
+// adjective vocabulary.
+std::string RandomText(Rng* rng, int target_len);
+
+// Order/lineitem-style comment; injects "special ... requests" with
+// probability `special_prob`.
+std::string CommentText(Rng* rng, int target_len, double special_prob);
+
+// Supplier comment; injects "Customer ... Complaints" with probability
+// 5/10000 and "Customer ... Recommends" with probability 5/10000 (dbgen's
+// Q16 rates).
+std::string SupplierComment(Rng* rng);
+
+// "Customer#000000001"-style fixed-width names.
+std::string NumberedName(const char* prefix, int64_t key);
+
+// Phone number "CC-III-III-IIII" where CC = 10 + nationkey (Q22 depends on
+// this country-code rule).
+std::string PhoneNumber(Rng* rng, int32_t nationkey);
+
+// Random address-ish string (v-string in the spec).
+std::string AddressText(Rng* rng);
+
+}  // namespace wimpi::tpch
+
+#endif  // WIMPI_TPCH_TEXT_H_

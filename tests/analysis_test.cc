@@ -1,0 +1,43 @@
+#include "analysis/metrics.h"
+#include "gtest/gtest.h"
+#include "hw/profile.h"
+
+namespace wimpi::analysis {
+namespace {
+
+TEST(MetricsTest, ServerMsrpDoublesForDualSocket) {
+  EXPECT_DOUBLE_EQ(ServerMsrp(hw::ProfileByName("op-e5")), 2 * 1389);
+  EXPECT_DOUBLE_EQ(ServerMsrp(hw::ProfileByName("op-gold")), 2 * 3358);
+  EXPECT_LT(ServerMsrp(hw::ProfileByName("m5.metal")), 0);  // unavailable
+}
+
+TEST(MetricsTest, PiClusterCosts) {
+  EXPECT_DOUBLE_EQ(PiClusterMsrp(24), 840);  // the paper's $840 WIMPI
+  EXPECT_NEAR(PiClusterHourly(24), 24 * 0.0004, 1e-12);
+  // WIMPI at 24 nodes draws ~122 W max (paper §II-B).
+  EXPECT_NEAR(PiClusterEnergyJoules(24, 1.0), 122.4, 0.5);
+}
+
+TEST(MetricsTest, ServerEnergyUsesTdp) {
+  EXPECT_DOUBLE_EQ(ServerEnergyJoules(hw::ProfileByName("op-gold"), 2.0),
+                   330.0);
+  EXPECT_LT(ServerEnergyJoules(hw::ProfileByName("c6g.metal"), 1.0), 0);
+}
+
+TEST(MetricsTest, ImprovementDefinition) {
+  // "5x could mean the Pi is 5x faster at the same cost, or 2x slower but
+  // 10x cheaper" -- both forms must give the same factor.
+  EXPECT_DOUBLE_EQ(Improvement(1.0, 5.0, 1.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Improvement(1.0, 10.0, 2.0, 1.0), 5.0);
+  // Break-even.
+  EXPECT_DOUBLE_EQ(Improvement(2.0, 3.0, 2.0, 3.0), 1.0);
+}
+
+TEST(MetricsTest, Median) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7);
+}
+
+}  // namespace
+}  // namespace wimpi::analysis

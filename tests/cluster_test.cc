@@ -1,0 +1,164 @@
+// Distributed-correctness and cluster-simulation tests: the WIMPI driver
+// must produce exactly the single-node answer at every cluster size, and
+// the timing model must show the paper's qualitative effects.
+#include "cluster/partition.h"
+#include "cluster/wimpi_cluster.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi {
+namespace {
+
+const engine::Database& TestDb() {
+  static engine::Database* db = [] {
+    tpch::GenOptions opts;
+    opts.scale_factor = 0.02;
+    return new engine::Database(tpch::GenerateDatabase(opts));
+  }();
+  return *db;
+}
+
+class DistributedQueryTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistributedQueryTest, MatchesSingleNode) {
+  const auto [q, nodes] = GetParam();
+  cluster::ClusterOptions opts;
+  opts.num_nodes = nodes;
+  const cluster::WimpiCluster wimpi(TestDb(), opts);
+
+  hw::CostModel model;
+  cluster::DistributedRun run = wimpi.Run(q, model);
+
+  exec::QueryStats stats;
+  const exec::Relation expected = tpch::RunQuery(q, TestDb(), &stats);
+  ExpectRefResultsEqual(ToRefResult(run.result), ToRefResult(expected));
+
+  EXPECT_GT(run.total_seconds, 0.0);
+  EXPECT_EQ(run.nodes_used, q == 13 ? 1 : nodes);
+  if (q != 13) {
+    EXPECT_GT(run.network_bytes, 0.0);
+    EXPECT_GT(run.network_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sf10Subset, DistributedQueryTest,
+    ::testing::Combine(::testing::ValuesIn(std::vector<int>(
+                           tpch::kSf10Queries,
+                           tpch::kSf10Queries + tpch::kNumSf10Queries)),
+                       ::testing::Values(2, 3, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "Q" + std::to_string(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PartitionTest, RowsArePreservedAndDisjoint) {
+  const auto& lineitem = TestDb().table("lineitem");
+  const auto parts = cluster::PartitionByKey(lineitem, "l_orderkey", 7);
+  int64_t total = 0;
+  for (const auto& p : parts) total += p->num_rows();
+  EXPECT_EQ(total, lineitem.num_rows());
+
+  // Each order key lands on exactly one partition.
+  std::map<int64_t, int> owner;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const int64_t* keys = parts[i]->column("l_orderkey").I64Data();
+    for (int64_t r = 0; r < parts[i]->num_rows(); ++r) {
+      auto [it, inserted] = owner.emplace(keys[r], i);
+      if (!inserted) {
+        ASSERT_EQ(it->second, static_cast<int>(i))
+            << "order " << keys[r] << " split across partitions";
+      }
+    }
+  }
+
+  // Partitions are reasonably balanced (hash partitioning).
+  const int64_t ideal = lineitem.num_rows() / 7;
+  for (const auto& p : parts) {
+    EXPECT_GT(p->num_rows(), ideal / 2);
+    EXPECT_LT(p->num_rows(), ideal * 2);
+  }
+}
+
+TEST(PartitionTest, SharesDictionaries) {
+  const auto& lineitem = TestDb().table("lineitem");
+  const auto parts = cluster::PartitionByKey(lineitem, "l_orderkey", 3);
+  for (const auto& p : parts) {
+    EXPECT_EQ(p->column("l_shipmode").dict().get(),
+              lineitem.column("l_shipmode").dict().get());
+  }
+}
+
+TEST(ClusterModelTest, MoreNodesReduceQ1Time) {
+  // Q1 is bandwidth-bound; with enough memory per node, adding nodes must
+  // reduce simulated time (until network latency takes over).
+  hw::CostModel model;
+  double prev = 1e9;
+  for (int n : {2, 4, 8}) {
+    cluster::ClusterOptions opts;
+    opts.num_nodes = n;
+    opts.sf_scale = 10.0;
+    const cluster::WimpiCluster wimpi(TestDb(), opts);
+    const auto run = wimpi.Run(1, model);
+    EXPECT_LT(run.total_seconds, prev) << n << " nodes";
+    prev = run.total_seconds;
+  }
+}
+
+TEST(ClusterModelTest, Q13TimeIsFlatAcrossClusterSizes) {
+  hw::CostModel model;
+  double first = -1;
+  for (int n : {2, 4, 8}) {
+    cluster::ClusterOptions opts;
+    opts.num_nodes = n;
+    const cluster::WimpiCluster wimpi(TestDb(), opts);
+    const auto run = wimpi.Run(13, model);
+    if (first < 0) {
+      first = run.total_seconds;
+    } else {
+      EXPECT_NEAR(run.total_seconds, first, first * 1e-6);
+    }
+  }
+}
+
+TEST(ClusterModelTest, MemoryPressureTriggersSpill) {
+  hw::CostModel model;
+  cluster::ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.sf_scale = 50.0;                          // blow past 1 GB per node
+  opts.node_memory_bytes = 64.0 * 1024 * 1024;   // tiny nodes
+  const cluster::WimpiCluster small(TestDb(), opts);
+  const auto constrained = small.Run(1, model);
+  EXPECT_GT(constrained.spill_seconds, 0.0);
+
+  opts.node_memory_bytes = 1e12;  // effectively infinite
+  const cluster::WimpiCluster big(TestDb(), opts);
+  const auto unconstrained = big.Run(1, model);
+  EXPECT_EQ(unconstrained.spill_seconds, 0.0);
+  EXPECT_LT(unconstrained.total_seconds, constrained.total_seconds);
+}
+
+TEST(ClusterModelTest, NetworkModelMatchesEffectiveBandwidth) {
+  cluster::ClusterOptions opts;
+  opts.num_nodes = 2;
+  const cluster::WimpiCluster wimpi(TestDb(), opts);
+  // 220 Mbit worth of payload should take ~1 second plus latency.
+  const double s = wimpi.NetworkSeconds(220e6 / 8.0, 1);
+  EXPECT_NEAR(s, 1.0 + opts.per_node_latency_s, 1e-9);
+}
+
+TEST(ClusterModelTest, NodeLogicalBytesScalesWithSf) {
+  cluster::ClusterOptions opts;
+  opts.num_nodes = 4;
+  const cluster::WimpiCluster wimpi(TestDb(), opts);
+  const double at1 = wimpi.NodeLogicalBytes(1.0);
+  const double at10 = wimpi.NodeLogicalBytes(10.0);
+  EXPECT_GT(at10, 9 * at1);
+  EXPECT_LT(at10, 11 * at1);
+}
+
+}  // namespace
+}  // namespace wimpi

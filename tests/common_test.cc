@@ -1,0 +1,216 @@
+#include <set>
+
+#include "common/cli.h"
+#include "common/date.h"
+#include "common/decimal.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace wimpi {
+namespace {
+
+// ---------- dates ----------
+
+TEST(DateTest, KnownAnchors) {
+  EXPECT_EQ(DateFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DateFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DateFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(FormatDate(ParseDate("1992-01-01")), "1992-01-01");
+  EXPECT_EQ(FormatDate(ParseDate("1998-12-31")), "1998-12-31");
+}
+
+TEST(DateTest, RoundTripProperty) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = static_cast<DateValue>(rng.Uniform(-200000, 200000));
+    const CivilDate c = CivilFromDate(d);
+    EXPECT_EQ(DateFromCivil(c.year, c.month, c.day), d);
+    EXPECT_GE(c.month, 1);
+    EXPECT_LE(c.month, 12);
+    EXPECT_GE(c.day, 1);
+    EXPECT_LE(c.day, 31);
+  }
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const auto d = static_cast<DateValue>(rng.Uniform(0, 20000));
+    EXPECT_EQ(ParseDate(FormatDate(d)), d);
+  }
+}
+
+TEST(DateTest, LeapYears) {
+  EXPECT_EQ(DateFromCivil(2000, 3, 1) - DateFromCivil(2000, 2, 1), 29);
+  EXPECT_EQ(DateFromCivil(1900, 3, 1) - DateFromCivil(1900, 2, 1), 28);
+  EXPECT_EQ(DateFromCivil(1996, 3, 1) - DateFromCivil(1996, 2, 1), 29);
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  EXPECT_EQ(FormatDate(DateAddMonths(ParseDate("1994-01-31"), 1)),
+            "1994-02-28");
+  EXPECT_EQ(FormatDate(DateAddMonths(ParseDate("1996-01-31"), 1)),
+            "1996-02-29");
+  EXPECT_EQ(FormatDate(DateAddMonths(ParseDate("1994-03-15"), 12)),
+            "1995-03-15");
+  EXPECT_EQ(FormatDate(DateAddMonths(ParseDate("1994-03-15"), -3)),
+            "1993-12-15");
+}
+
+TEST(DateTest, YearExtraction) {
+  EXPECT_EQ(DateYear(ParseDate("1995-06-17")), 1995);
+  EXPECT_EQ(DateYear(ParseDate("1992-01-01")), 1992);
+}
+
+// ---------- LIKE ----------
+
+struct LikeCase {
+  const char* value;
+  const char* pattern;
+  bool expect;
+};
+
+class LikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.value, c.pattern), c.expect)
+      << c.value << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LikeTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true},
+        LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true},
+        LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true},
+        LikeCase{"hello", "h__lo", true},
+        LikeCase{"hello", "", false},
+        LikeCase{"", "%", true},
+        LikeCase{"", "", true},
+        LikeCase{"hello", "%x%", false},
+        LikeCase{"MEDIUM POLISHED TIN", "MEDIUM POLISHED%", true},
+        LikeCase{"PROMO BRUSHED STEEL", "PROMO%", true},
+        LikeCase{"a special deal with requests", "%special%requests%", true},
+        LikeCase{"requests special", "%special%requests%", false},
+        LikeCase{"special requests", "%special%requests%", true},
+        LikeCase{"abc", "%%", true},
+        LikeCase{"abc", "a%b%c", true},
+        LikeCase{"aXbXc", "a%b%c", true},
+        LikeCase{"ab", "a_b", false},
+        LikeCase{"forest green", "forest%", true},
+        LikeCase{"old forest", "forest%", false}));
+
+TEST(StringsTest, Helpers) {
+  EXPECT_TRUE(StartsWith("PROMO PLATED", "PROMO"));
+  EXPECT_FALSE(StartsWith("PR", "PROMO"));
+  EXPECT_TRUE(EndsWith("ECONOMY BRASS", "BRASS"));
+  EXPECT_TRUE(Contains("dark green linen", "green"));
+  EXPECT_FALSE(Contains("gree", "green"));
+  EXPECT_EQ(Split("a|b||c", '|'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+}
+
+// ---------- RNG ----------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformBoundsAndCoverage) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.Uniform(3, 10);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ---------- hash ----------
+
+TEST(HashTest, IntMixSpreadsLowBits) {
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 1024; ++i) buckets.insert(HashInt64(i) & 1023);
+  EXPECT_GT(buckets.size(), 600u);  // near-uniform spread
+}
+
+TEST(HashTest, StringHashDiffers) {
+  EXPECT_NE(HashString("AIR"), HashString("AIR REG"));
+  EXPECT_EQ(HashString("MAIL"), HashString("MAIL"));
+}
+
+// ---------- money ----------
+
+TEST(MoneyTest, Arithmetic) {
+  const Money a = Money::FromCents(12345);
+  EXPECT_EQ(a.ToString(), "123.45");
+  EXPECT_EQ((a * 2).cents(), 24690);
+  EXPECT_EQ((a + Money::FromUnits(1)).cents(), 12445);
+  EXPECT_EQ((Money::FromCents(-505)).ToString(), "-5.05");
+  EXPECT_NEAR(a.ToDouble(), 123.45, 1e-12);
+}
+
+// ---------- table printer ----------
+
+TEST(TablePrinterTest, AlignsAndFormats) {
+  TablePrinter t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  t.AddSeparator();
+  t.AddRow({"333", "4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(TablePrinter::Fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Multiplier(123.4), "123x");
+  EXPECT_EQ(TablePrinter::Multiplier(12.34), "12.3x");
+  EXPECT_EQ(TablePrinter::Multiplier(1.234), "1.23x");
+}
+
+// ---------- command line ----------
+
+TEST(CommandLineTest, ParsesFlagsAndPositional) {
+  // Note: a bare flag followed by a non-flag token consumes it as a value
+  // ("--nodes 12"), so trailing bool flags must use "--flag=true" or come
+  // last.
+  const char* argv[] = {"prog", "input.txt", "--sf=0.5", "--nodes", "12",
+                        "--verbose"};
+  CommandLine cli(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("sf", 1.0), 0.5);
+  EXPECT_EQ(cli.GetInt("nodes", 0), 12);
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_FALSE(cli.GetBool("quiet", false));
+  EXPECT_EQ(cli.GetString("missing", "d"), "d");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+}  // namespace
+}  // namespace wimpi

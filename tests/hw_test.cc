@@ -1,0 +1,184 @@
+// Hardware model tests: Table I data fidelity, the paper's calibration
+// anchors, and cost-model sanity properties.
+#include "gtest/gtest.h"
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+#include "micro/model.h"
+
+namespace wimpi::hw {
+namespace {
+
+TEST(ProfileTest, AllTenComparisonPoints) {
+  EXPECT_EQ(AllProfiles().size(), 10u);
+  EXPECT_EQ(OnPremProfiles().size(), 2u);
+  EXPECT_EQ(CloudProfiles().size(), 7u);
+  EXPECT_EQ(ServerProfiles().size(), 9u);
+  EXPECT_EQ(PiProfile().cpu, "ARM Cortex-A53");
+}
+
+TEST(ProfileTest, TableOneData) {
+  const auto& e5 = ProfileByName("op-e5");
+  EXPECT_DOUBLE_EQ(e5.freq_ghz, 2.2);
+  EXPECT_EQ(e5.cores, 10);
+  EXPECT_DOUBLE_EQ(e5.msrp_usd, 1389);
+  EXPECT_DOUBLE_EQ(e5.tdp_watts, 95);
+  EXPECT_EQ(e5.sockets, 2);
+
+  const auto& gold = ProfileByName("op-gold");
+  EXPECT_DOUBLE_EQ(gold.msrp_usd, 3358);
+  EXPECT_DOUBLE_EQ(gold.tdp_watts, 165);
+
+  const auto& pi = PiProfile();
+  EXPECT_DOUBLE_EQ(pi.msrp_usd, 35);
+  EXPECT_DOUBLE_EQ(pi.tdp_watts, 5.1);
+  EXPECT_NEAR(pi.hourly_usd, 0.0004, 1e-9);
+  EXPECT_EQ(pi.cores, 4);
+  EXPECT_DOUBLE_EQ(pi.llc_bytes, 512 * 1024.0);
+
+  const auto& c6g = ProfileByName("c6g.metal");
+  EXPECT_EQ(c6g.cores, 64);
+  EXPECT_DOUBLE_EQ(c6g.hourly_usd, 2.176);
+
+  // Cloud SKUs have no public MSRP/TDP (the '-' cells).
+  for (const auto* p : CloudProfiles()) {
+    EXPECT_LT(p->msrp_usd, 0) << p->name;
+    EXPECT_LT(p->tdp_watts, 0) << p->name;
+  }
+}
+
+// The paper's microbenchmark anchors (DESIGN.md §5).
+TEST(CalibrationTest, SingleCoreComputeAnchors) {
+  const double pi = PiProfile().SingleCoreRate();
+  const double e5 = ProfileByName("op-e5").SingleCoreRate();
+  const double gold = ProfileByName("op-gold").SingleCoreRate();
+  const double m5 = ProfileByName("m5.metal").SingleCoreRate();
+  EXPECT_GE(e5 / pi, 2.0);
+  EXPECT_LE(e5 / pi, 3.0);  // "only between 2-3x worse than op-e5"
+  EXPECT_GE(gold / pi, 4.5);
+  EXPECT_LE(gold / pi, 6.5);  // "5-6x worse than op-gold..."
+  EXPECT_GE(m5 / pi, 4.0);
+  EXPECT_LE(m5 / pi, 6.5);  // "...and m5.metal"
+  // z1d.metal has the best single-core performance.
+  const double z1d = ProfileByName("z1d.metal").SingleCoreRate();
+  for (const auto& p : AllProfiles()) {
+    EXPECT_LE(p.SingleCoreRate(), z1d) << p.name;
+  }
+}
+
+TEST(CalibrationTest, SysbenchPrimeAnchor) {
+  const CostModel cm;
+  const micro::MicrobenchModel m(cm);
+  const double pi = m.SysbenchPrimeSeconds(PiProfile(), false);
+  const double e5 = m.SysbenchPrimeSeconds(ProfileByName("op-e5"), false);
+  // "nearly identical to the Intel E5-2660 v2"
+  EXPECT_NEAR(pi / e5, 1.0, 0.15);
+  // Others are 1.2-3.9x better than the Pi single-core.
+  for (const auto* p : ServerProfiles()) {
+    if (p->name == "op-e5") continue;
+    const double ratio = pi / m.SysbenchPrimeSeconds(*p, false);
+    EXPECT_GE(ratio, 1.1) << p->name;
+    EXPECT_LE(ratio, 4.2) << p->name;
+  }
+}
+
+TEST(CalibrationTest, MemoryBandwidthAnchors) {
+  const double pi_single = PiProfile().mem_bw_single_gbps;
+  const double pi_all = PiProfile().mem_bw_all_gbps;
+  // Single channel: all-core barely above single-core.
+  EXPECT_LT(pi_all / pi_single, 1.3);
+  for (const auto* p : ServerProfiles()) {
+    const double s = p->mem_bw_single_gbps / pi_single;
+    const double a = p->mem_bw_all_gbps / pi_all;
+    EXPECT_GE(s, 4.5) << p->name;   // "5-11x lower" single-core
+    EXPECT_LE(s, 11.5) << p->name;
+    EXPECT_GE(a, 19.0) << p->name;  // "20-99x higher" all-core
+    EXPECT_LE(a, 100.0) << p->name;
+  }
+  // 24 Pi nodes ~ op-e5 / m4.10xlarge aggregate bandwidth (~48 GB/s).
+  EXPECT_NEAR(24 * pi_all, ProfileByName("m4.10xlarge").mem_bw_all_gbps, 10);
+}
+
+TEST(CostModelTest, MoreBytesNeverFaster) {
+  const CostModel m;
+  exec::OpStats op;
+  op.op = "x";
+  op.compute_ops = 1e6;
+  double prev = 0;
+  for (double bytes = 1e5; bytes < 1e10; bytes *= 10) {
+    op.seq_bytes = bytes;
+    const double s = m.OpSeconds(PiProfile(), op);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(CostModelTest, MoreThreadsNeverSlower) {
+  const CostModel m;
+  exec::OpStats op;
+  op.op = "x";
+  op.compute_ops = 1e9;
+  op.seq_bytes = 1e8;
+  for (const auto& p : AllProfiles()) {
+    double prev = 1e18;
+    for (int t = 1; t <= p.threads; t *= 2) {
+      const double s = m.OpSeconds(p, op, t);
+      EXPECT_LE(s, prev + 1e-12) << p.name << " threads=" << t;
+      prev = s;
+    }
+  }
+}
+
+TEST(CostModelTest, LlcResidentRandomAccessIsCheaper) {
+  const CostModel m;
+  exec::OpStats small, big;
+  small.op = big.op = "probe";
+  small.rand_count = big.rand_count = 1e7;
+  small.rand_struct_bytes = 100 * 1024;        // fits Pi LLC
+  big.rand_struct_bytes = 64 * 1024 * 1024.0;  // memory resident
+  EXPECT_LT(m.OpSeconds(PiProfile(), small), m.OpSeconds(PiProfile(), big));
+}
+
+TEST(CostModelTest, LlcResidentStreamIsFaster) {
+  const CostModel m;
+  const auto& e5 = ProfileByName("op-e5");
+  exec::OpStats in_llc, in_mem;
+  in_llc.op = in_mem.op = "scan";
+  in_llc.seq_bytes = 1e6;    // << 25 MB LLC
+  in_mem.seq_bytes = 100e6;  // >> LLC
+  // Per-byte cost must be lower for the cache-resident stream.
+  EXPECT_LT(m.OpSeconds(e5, in_llc) / 1e6, m.OpSeconds(e5, in_mem) / 100e6);
+}
+
+TEST(CostModelTest, SerialOpIgnoresCores) {
+  const CostModel m;
+  exec::OpStats op;
+  op.op = "merge";
+  op.compute_ops = 1e8;
+  op.parallel_fraction = 0.0;
+  const auto& gold = ProfileByName("op-gold");
+  EXPECT_NEAR(m.OpSeconds(gold, op, 1), m.OpSeconds(gold, op, 36), 1e-12);
+}
+
+TEST(CostModelTest, QueryOverheadGivesRuntimeFloor) {
+  const CostModel m;
+  const exec::QueryStats empty;
+  // Empty queries still cost a few ms (the Table II floor), more on the Pi.
+  const double e5 = m.QuerySeconds(ProfileByName("op-e5"), empty);
+  const double pi = m.QuerySeconds(PiProfile(), empty);
+  EXPECT_GT(e5, 0.004);
+  EXPECT_LT(e5, 0.02);
+  EXPECT_GT(pi, 1.5 * e5);
+}
+
+TEST(CostModelTest, DbThreadCapLimitsC6g) {
+  const CostModel m;
+  const auto& c6g = ProfileByName("c6g.metal");
+  // 64 threads must not beat the 24-thread cap.
+  exec::OpStats op;
+  op.op = "x";
+  op.compute_ops = 1e9;
+  EXPECT_NEAR(m.OpSeconds(c6g, op, 64), m.OpSeconds(c6g, op, 24), 1e-12);
+}
+
+}  // namespace
+}  // namespace wimpi::hw

@@ -1,0 +1,58 @@
+// Methodology validation: the benches execute at a small physical SF and
+// project counters to the target SF. That is only sound if the recorded
+// work actually scales (near-)linearly with SF -- verified here by
+// generating two physical sizes and comparing scaled counters, and by
+// checking that modeled runtimes are SF-consistent.
+#include "gtest/gtest.h"
+#include "hw/cost_model.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi {
+namespace {
+
+engine::Database Gen(double sf) {
+  tpch::GenOptions opts;
+  opts.scale_factor = sf;
+  return tpch::GenerateDatabase(opts);
+}
+
+class SfInvarianceTest : public ::testing::TestWithParam<int> {};
+// The SF 10 subset plus two join-heavy extras.
+INSTANTIATE_TEST_SUITE_P(Queries, SfInvarianceTest,
+                         ::testing::Values(1, 3, 5, 6, 9, 13, 18),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST_P(SfInvarianceTest, CountersScaleNearLinearlyWithSf) {
+  const int q = GetParam();
+  static const engine::Database& small = *new engine::Database(Gen(0.01));
+  static const engine::Database& big = *new engine::Database(Gen(0.04));
+
+  exec::QueryStats s_small, s_big;
+  tpch::RunQuery(q, small, &s_small);
+  tpch::RunQuery(q, big, &s_big);
+  s_small.Scale(4.0);  // project 0.01 -> 0.04
+
+  // Totals after projection should match the genuinely larger run within
+  // a modest factor (hash-table sizes and selectivity noise allowed).
+  const double seq_ratio = s_small.TotalSeqBytes() / s_big.TotalSeqBytes();
+  const double ops_ratio =
+      s_small.TotalComputeOps() / s_big.TotalComputeOps();
+  EXPECT_GT(seq_ratio, 0.7) << "Q" << q;
+  EXPECT_LT(seq_ratio, 1.4) << "Q" << q;
+  EXPECT_GT(ops_ratio, 0.7) << "Q" << q;
+  EXPECT_LT(ops_ratio, 1.4) << "Q" << q;
+
+  // And the modeled Pi runtime projected from the small run should agree
+  // with the modeled runtime of the real larger run.
+  const hw::CostModel model;
+  const double projected = model.QuerySeconds(hw::PiProfile(), s_small);
+  const double direct = model.QuerySeconds(hw::PiProfile(), s_big);
+  EXPECT_GT(projected / direct, 0.65) << "Q" << q;
+  EXPECT_LT(projected / direct, 1.5) << "Q" << q;
+}
+
+}  // namespace
+}  // namespace wimpi

@@ -1,0 +1,71 @@
+// Microbenchmark kernels (real host runs) and the Figure 2 projection.
+#include "gtest/gtest.h"
+#include "hw/cost_model.h"
+#include "micro/kernels.h"
+#include "micro/model.h"
+
+namespace wimpi::micro {
+namespace {
+
+TEST(KernelTest, WhetstoneProducesPositiveMwips) {
+  EXPECT_GT(RunWhetstone(20), 0.0);
+}
+
+TEST(KernelTest, DhrystoneProducesPositiveDmips) {
+  EXPECT_GT(RunDhrystone(20), 0.0);
+}
+
+TEST(KernelTest, SysbenchPrimeScalesWithWork) {
+  const double small = RunSysbenchPrime(2000, 2);
+  const double big = RunSysbenchPrime(20000, 2);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, 3 * small);  // trial division is superlinear in max_prime
+}
+
+TEST(KernelTest, MemoryBandwidthIsPlausible) {
+  const double gbps = RunMemoryBandwidth(64 << 20, 3);
+  EXPECT_GT(gbps, 0.5);
+  EXPECT_LT(gbps, 1000.0);
+}
+
+TEST(ModelTest, AllCoreBeatsOrMatchesSingleCore) {
+  const hw::CostModel cm;
+  const MicrobenchModel m(cm);
+  for (const auto& p : hw::AllProfiles()) {
+    EXPECT_GE(m.WhetstoneMwips(p, true), m.WhetstoneMwips(p, false));
+    EXPECT_GE(m.DhrystoneDmips(p, true), m.DhrystoneDmips(p, false));
+    EXPECT_LE(m.SysbenchPrimeSeconds(p, true),
+              m.SysbenchPrimeSeconds(p, false));
+    EXPECT_GE(m.MemoryBandwidthGbps(p, true),
+              m.MemoryBandwidthGbps(p, false));
+  }
+}
+
+TEST(ModelTest, AllCoreComputeGapMatchesPaper) {
+  // "the server-grade CPUs range from 10-90x more powerful" (all cores).
+  const hw::CostModel cm;
+  const MicrobenchModel m(cm);
+  const double pi = m.DhrystoneDmips(hw::PiProfile(), true);
+  for (const auto* p : hw::ServerProfiles()) {
+    const double gap = m.DhrystoneDmips(*p, true) / pi;
+    EXPECT_GE(gap, 5.0) << p->name;
+    EXPECT_LE(gap, 95.0) << p->name;
+  }
+  // c6g.metal wins by a wide margin.
+  const double c6g = m.DhrystoneDmips(hw::ProfileByName("c6g.metal"), true);
+  for (const auto* p : hw::ServerProfiles()) {
+    if (p->name != "c6g.metal") {
+      EXPECT_GT(c6g, 1.5 * m.DhrystoneDmips(*p, true)) << p->name;
+    }
+  }
+}
+
+TEST(ModelTest, PiSingleCoreMwipsNearPublishedScore) {
+  const hw::CostModel cm;
+  const MicrobenchModel m(cm);
+  EXPECT_NEAR(m.WhetstoneMwips(hw::PiProfile(), false), 700, 50);
+  EXPECT_NEAR(m.DhrystoneDmips(hw::PiProfile(), false), 3100, 300);
+}
+
+}  // namespace
+}  // namespace wimpi::micro

@@ -1,0 +1,60 @@
+// End-to-end validation: every TPC-H query, executed by the vectorized
+// engine, must match an independent row-at-a-time reference implementation.
+#include "engine/database.h"
+#include "gtest/gtest.h"
+#include "reference.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi {
+namespace {
+
+const engine::Database& TestDb() {
+  static engine::Database* db = [] {
+    tpch::GenOptions opts;
+    opts.scale_factor = 0.02;
+    return new engine::Database(tpch::GenerateDatabase(opts));
+  }();
+  return *db;
+}
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchQueryTest, MatchesReference) {
+  const int q = GetParam();
+  exec::QueryStats stats;
+  const exec::Relation result = tpch::RunQuery(q, TestDb(), &stats);
+  const tpch_ref::RefResult expected = tpch_ref::RunReference(q, TestDb());
+  ExpectRefResultsEqual(ToRefResult(result), expected);
+  // Every query must do some accountable work.
+  EXPECT_GT(stats.TotalComputeOps(), 0.0);
+  EXPECT_GT(stats.TotalSeqBytes(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(TpchQueryMeta, Sf10SubsetIsThePaperSet) {
+  const std::vector<int> expected = {1, 3, 4, 5, 6, 13, 14, 19};
+  for (int q = 1; q <= 22; ++q) {
+    const bool want =
+        std::find(expected.begin(), expected.end(), q) != expected.end();
+    EXPECT_EQ(tpch::InSf10Subset(q), want) << "Q" << q;
+  }
+}
+
+TEST(TpchQueryStats, Q1IsMemoryBoundShape) {
+  // Q1 scans most of lineitem: sequential bytes should dominate random
+  // accesses by a wide margin (this is what makes it the paper's worst
+  // query on the Pi).
+  exec::QueryStats stats;
+  tpch::RunQuery(1, TestDb(), &stats);
+  EXPECT_GT(stats.TotalSeqBytes(), 100 * stats.TotalRandCount());
+}
+
+}  // namespace
+}  // namespace wimpi

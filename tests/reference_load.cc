@@ -1,0 +1,183 @@
+#include "reference_util.h"
+
+namespace wimpi::tpch_ref {
+namespace {
+std::string S(const storage::Column& c, int64_t i) {
+  return std::string(c.StringAt(i));
+}
+}  // namespace
+
+std::vector<LineitemRow> LoadLineitem(const engine::Database& db) {
+  const auto& t = db.table("lineitem");
+  std::vector<LineitemRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    LineitemRow& r = rows[i];
+    r.orderkey = t.column("l_orderkey").I64Data()[i];
+    r.partkey = t.column("l_partkey").I32Data()[i];
+    r.suppkey = t.column("l_suppkey").I32Data()[i];
+    r.linenumber = t.column("l_linenumber").I32Data()[i];
+    r.qty = t.column("l_quantity").F64Data()[i];
+    r.price = t.column("l_extendedprice").F64Data()[i];
+    r.disc = t.column("l_discount").F64Data()[i];
+    r.tax = t.column("l_tax").F64Data()[i];
+    r.rf = S(t.column("l_returnflag"), i);
+    r.ls = S(t.column("l_linestatus"), i);
+    r.ship = t.column("l_shipdate").I32Data()[i];
+    r.commit = t.column("l_commitdate").I32Data()[i];
+    r.receipt = t.column("l_receiptdate").I32Data()[i];
+    r.instr = S(t.column("l_shipinstruct"), i);
+    r.mode = S(t.column("l_shipmode"), i);
+  }
+  return rows;
+}
+
+std::vector<OrderRow> LoadOrders(const engine::Database& db) {
+  const auto& t = db.table("orders");
+  std::vector<OrderRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    OrderRow& r = rows[i];
+    r.orderkey = t.column("o_orderkey").I64Data()[i];
+    r.custkey = t.column("o_custkey").I32Data()[i];
+    r.status = S(t.column("o_orderstatus"), i);
+    r.totalprice = t.column("o_totalprice").F64Data()[i];
+    r.orderdate = t.column("o_orderdate").I32Data()[i];
+    r.priority = S(t.column("o_orderpriority"), i);
+    r.shippriority = t.column("o_shippriority").I32Data()[i];
+    r.comment = S(t.column("o_comment"), i);
+  }
+  return rows;
+}
+
+std::vector<CustomerRow> LoadCustomer(const engine::Database& db) {
+  const auto& t = db.table("customer");
+  std::vector<CustomerRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    CustomerRow& r = rows[i];
+    r.custkey = t.column("c_custkey").I32Data()[i];
+    r.name = S(t.column("c_name"), i);
+    r.address = S(t.column("c_address"), i);
+    r.nationkey = t.column("c_nationkey").I32Data()[i];
+    r.phone = S(t.column("c_phone"), i);
+    r.acctbal = t.column("c_acctbal").F64Data()[i];
+    r.mktsegment = S(t.column("c_mktsegment"), i);
+    r.comment = S(t.column("c_comment"), i);
+  }
+  return rows;
+}
+
+std::vector<SupplierRow> LoadSupplier(const engine::Database& db) {
+  const auto& t = db.table("supplier");
+  std::vector<SupplierRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    SupplierRow& r = rows[i];
+    r.suppkey = t.column("s_suppkey").I32Data()[i];
+    r.name = S(t.column("s_name"), i);
+    r.address = S(t.column("s_address"), i);
+    r.nationkey = t.column("s_nationkey").I32Data()[i];
+    r.phone = S(t.column("s_phone"), i);
+    r.acctbal = t.column("s_acctbal").F64Data()[i];
+    r.comment = S(t.column("s_comment"), i);
+  }
+  return rows;
+}
+
+std::vector<PartRow> LoadPart(const engine::Database& db) {
+  const auto& t = db.table("part");
+  std::vector<PartRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    PartRow& r = rows[i];
+    r.partkey = t.column("p_partkey").I32Data()[i];
+    r.name = S(t.column("p_name"), i);
+    r.mfgr = S(t.column("p_mfgr"), i);
+    r.brand = S(t.column("p_brand"), i);
+    r.type = S(t.column("p_type"), i);
+    r.size = t.column("p_size").I32Data()[i];
+    r.container = S(t.column("p_container"), i);
+    r.retailprice = t.column("p_retailprice").F64Data()[i];
+  }
+  return rows;
+}
+
+std::vector<PartsuppRow> LoadPartsupp(const engine::Database& db) {
+  const auto& t = db.table("partsupp");
+  std::vector<PartsuppRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    PartsuppRow& r = rows[i];
+    r.partkey = t.column("ps_partkey").I32Data()[i];
+    r.suppkey = t.column("ps_suppkey").I32Data()[i];
+    r.availqty = t.column("ps_availqty").I32Data()[i];
+    r.supplycost = t.column("ps_supplycost").F64Data()[i];
+  }
+  return rows;
+}
+
+std::vector<NationRow> LoadNation(const engine::Database& db) {
+  const auto& t = db.table("nation");
+  std::vector<NationRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    rows[i].nationkey = t.column("n_nationkey").I32Data()[i];
+    rows[i].name = S(t.column("n_name"), i);
+    rows[i].regionkey = t.column("n_regionkey").I32Data()[i];
+  }
+  return rows;
+}
+
+std::vector<RegionRow> LoadRegion(const engine::Database& db) {
+  const auto& t = db.table("region");
+  std::vector<RegionRow> rows(t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    rows[i].regionkey = t.column("r_regionkey").I32Data()[i];
+    rows[i].name = S(t.column("r_name"), i);
+  }
+  return rows;
+}
+
+int32_t RefNationKey(const engine::Database& db, const std::string& name) {
+  for (const auto& n : LoadNation(db)) {
+    if (n.name == name) return n.nationkey;
+  }
+  return -1;
+}
+
+std::vector<int32_t> RefRegionNations(const engine::Database& db,
+                                      const std::string& region) {
+  int32_t rkey = -1;
+  for (const auto& r : LoadRegion(db)) {
+    if (r.name == region) rkey = r.regionkey;
+  }
+  std::vector<int32_t> out;
+  for (const auto& n : LoadNation(db)) {
+    if (n.regionkey == rkey) out.push_back(n.nationkey);
+  }
+  return out;
+}
+
+RefResult RunReference(int q, const engine::Database& db) {
+  switch (q) {
+    case 1: return RefQ1(db);
+    case 2: return RefQ2(db);
+    case 3: return RefQ3(db);
+    case 4: return RefQ4(db);
+    case 5: return RefQ5(db);
+    case 6: return RefQ6(db);
+    case 7: return RefQ7(db);
+    case 8: return RefQ8(db);
+    case 9: return RefQ9(db);
+    case 10: return RefQ10(db);
+    case 11: return RefQ11(db);
+    case 12: return RefQ12(db);
+    case 13: return RefQ13(db);
+    case 14: return RefQ14(db);
+    case 15: return RefQ15(db);
+    case 16: return RefQ16(db);
+    case 17: return RefQ17(db);
+    case 18: return RefQ18(db);
+    case 19: return RefQ19(db);
+    case 20: return RefQ20(db);
+    case 21: return RefQ21(db);
+    case 22: return RefQ22(db);
+    default: return {};
+  }
+}
+
+}  // namespace wimpi::tpch_ref

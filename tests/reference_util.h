@@ -1,0 +1,116 @@
+#ifndef WIMPI_TESTS_REFERENCE_UTIL_H_
+#define WIMPI_TESTS_REFERENCE_UTIL_H_
+
+// Shared row-struct loaders for the reference TPC-H implementations.
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "reference.h"
+
+namespace wimpi::tpch_ref {
+
+struct LineitemRow {
+  int64_t orderkey;
+  int32_t partkey, suppkey, linenumber;
+  double qty, price, disc, tax;
+  std::string rf, ls;
+  int32_t ship, commit, receipt;
+  std::string instr, mode;
+};
+
+struct OrderRow {
+  int64_t orderkey;
+  int32_t custkey;
+  std::string status;
+  double totalprice;
+  int32_t orderdate;
+  std::string priority;
+  int32_t shippriority;
+  std::string comment;
+};
+
+struct CustomerRow {
+  int32_t custkey;
+  std::string name, address;
+  int32_t nationkey;
+  std::string phone;
+  double acctbal;
+  std::string mktsegment, comment;
+};
+
+struct SupplierRow {
+  int32_t suppkey;
+  std::string name, address;
+  int32_t nationkey;
+  std::string phone;
+  double acctbal;
+  std::string comment;
+};
+
+struct PartRow {
+  int32_t partkey;
+  std::string name, mfgr, brand, type;
+  int32_t size;
+  std::string container;
+  double retailprice;
+};
+
+struct PartsuppRow {
+  int32_t partkey, suppkey, availqty;
+  double supplycost;
+};
+
+struct NationRow {
+  int32_t nationkey;
+  std::string name;
+  int32_t regionkey;
+};
+
+struct RegionRow {
+  int32_t regionkey;
+  std::string name;
+};
+
+std::vector<LineitemRow> LoadLineitem(const engine::Database& db);
+std::vector<OrderRow> LoadOrders(const engine::Database& db);
+std::vector<CustomerRow> LoadCustomer(const engine::Database& db);
+std::vector<SupplierRow> LoadSupplier(const engine::Database& db);
+std::vector<PartRow> LoadPart(const engine::Database& db);
+std::vector<PartsuppRow> LoadPartsupp(const engine::Database& db);
+std::vector<NationRow> LoadNation(const engine::Database& db);
+std::vector<RegionRow> LoadRegion(const engine::Database& db);
+
+// n_nationkey by name / nation keys in a region, naive scans.
+int32_t RefNationKey(const engine::Database& db, const std::string& name);
+std::vector<int32_t> RefRegionNations(const engine::Database& db,
+                                      const std::string& region);
+
+// Per-query reference entry points.
+RefResult RefQ1(const engine::Database& db);
+RefResult RefQ2(const engine::Database& db);
+RefResult RefQ3(const engine::Database& db);
+RefResult RefQ4(const engine::Database& db);
+RefResult RefQ5(const engine::Database& db);
+RefResult RefQ6(const engine::Database& db);
+RefResult RefQ7(const engine::Database& db);
+RefResult RefQ8(const engine::Database& db);
+RefResult RefQ9(const engine::Database& db);
+RefResult RefQ10(const engine::Database& db);
+RefResult RefQ11(const engine::Database& db);
+RefResult RefQ12(const engine::Database& db);
+RefResult RefQ13(const engine::Database& db);
+RefResult RefQ14(const engine::Database& db);
+RefResult RefQ15(const engine::Database& db);
+RefResult RefQ16(const engine::Database& db);
+RefResult RefQ17(const engine::Database& db);
+RefResult RefQ18(const engine::Database& db);
+RefResult RefQ19(const engine::Database& db);
+RefResult RefQ20(const engine::Database& db);
+RefResult RefQ21(const engine::Database& db);
+RefResult RefQ22(const engine::Database& db);
+
+}  // namespace wimpi::tpch_ref
+
+#endif  // WIMPI_TESTS_REFERENCE_UTIL_H_

@@ -1,0 +1,142 @@
+// Execution-strategy tests: the three paradigms must agree with each other
+// on every query, match engine-level results where comparable, and exhibit
+// the access-pattern differences the Figure 4 model depends on.
+#include <cmath>
+
+#include "engine/database.h"
+#include "gtest/gtest.h"
+#include "hw/cost_model.h"
+#include "strategies/strategies.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi::strategies {
+namespace {
+
+const engine::Database& Db() {
+  static engine::Database* db = [] {
+    tpch::GenOptions opts;
+    opts.scale_factor = 0.02;
+    return new engine::Database(tpch::GenerateDatabase(opts));
+  }();
+  return *db;
+}
+
+class StrategyAgreementTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sf10Subset, StrategyAgreementTest,
+                         ::testing::Values(1, 3, 4, 5, 6, 13, 14, 19),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST_P(StrategyAgreementTest, AllThreeStrategiesAgree) {
+  const int q = GetParam();
+  exec::QueryStats s1, s2, s3;
+  const StratResult dc = RunStrategy(q, Strategy::kDataCentric, Db(), &s1);
+  const StratResult hy = RunStrategy(q, Strategy::kHybrid, Db(), &s2);
+  const StratResult aa = RunStrategy(q, Strategy::kAccessAware, Db(), &s3);
+  ASSERT_EQ(dc.size(), hy.size());
+  ASSERT_EQ(dc.size(), aa.size());
+  for (size_t i = 0; i < dc.size(); ++i) {
+    EXPECT_EQ(dc[i].first, hy[i].first);
+    EXPECT_EQ(dc[i].first, aa[i].first);
+    EXPECT_NEAR(dc[i].second, hy[i].second, 1e-6 * (1 + std::fabs(dc[i].second)));
+    EXPECT_NEAR(dc[i].second, aa[i].second, 1e-6 * (1 + std::fabs(dc[i].second)));
+  }
+  EXPECT_GT(s1.TotalComputeOps(), 0.0);
+}
+
+TEST(StrategyResultTest, Q6MatchesEngine) {
+  const StratResult r =
+      RunStrategy(6, Strategy::kDataCentric, Db(), nullptr);
+  exec::Relation engine_result = tpch::RunQuery(6, Db(), nullptr);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].second, engine_result.column("revenue").F64Data()[0],
+              1e-6 * r[0].second);
+}
+
+TEST(StrategyResultTest, Q14MatchesEngine) {
+  const StratResult r =
+      RunStrategy(14, Strategy::kAccessAware, Db(), nullptr);
+  exec::Relation engine_result = tpch::RunQuery(14, Db(), nullptr);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].second,
+              engine_result.column("promo_revenue").F64Data()[0], 1e-6);
+}
+
+TEST(StrategyResultTest, Q19MatchesEngine) {
+  const StratResult r = RunStrategy(19, Strategy::kHybrid, Db(), nullptr);
+  exec::Relation engine_result = tpch::RunQuery(19, Db(), nullptr);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].second, engine_result.column("revenue").F64Data()[0],
+              1e-6 * (1 + r[0].second));
+}
+
+TEST(StrategyResultTest, Q1SumsMatchEngine) {
+  const StratResult r = RunStrategy(1, Strategy::kHybrid, Db(), nullptr);
+  exec::Relation e = tpch::RunQuery(1, Db(), nullptr);
+  // Strategy rows keyed "rf|ls" hold sum_disc_price.
+  for (int64_t g = 0; g < e.num_rows(); ++g) {
+    const std::string key = std::string(e.column(0).StringAt(g)) + "|" +
+                            std::string(e.column(1).StringAt(g));
+    bool found = false;
+    for (const auto& [k, v] : r) {
+      if (k == key) {
+        EXPECT_NEAR(v, e.column("sum_disc_price").F64Data()[g],
+                    1e-6 * v);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << key;
+  }
+}
+
+TEST(StrategyCountersTest, AccessAwareStreamsMoreBytes) {
+  // Predicate pullup reads full columns; fused tuple-at-a-time
+  // short-circuits. On selective Q6 this must show in the counters.
+  exec::QueryStats dc, aa;
+  RunStrategy(6, Strategy::kDataCentric, Db(), &dc);
+  RunStrategy(6, Strategy::kAccessAware, Db(), &aa);
+  EXPECT_GT(aa.TotalSeqBytes(), dc.TotalSeqBytes());
+}
+
+TEST(StrategyCountersTest, DataCentricPaysBranchCost) {
+  exec::QueryStats dc, aa;
+  RunStrategy(6, Strategy::kDataCentric, Db(), &dc);
+  RunStrategy(6, Strategy::kAccessAware, Db(), &aa);
+  EXPECT_GT(dc.TotalComputeOps(), aa.TotalComputeOps());
+}
+
+TEST(StrategyModelTest, Fig4ShapeHolds) {
+  // access-aware <= hybrid <= data-centric on the servers, and the
+  // data-centric/access-aware gap narrows on the Pi.
+  const hw::CostModel model;
+  const auto& e5 = hw::ProfileByName("op-e5");
+  const auto& pi = hw::PiProfile();
+  double e5_gap = 0, pi_gap = 0;
+  int n = 0;
+  for (const int q : {1, 6, 14, 19}) {
+    std::map<Strategy, exec::QueryStats> stats;
+    for (const Strategy s : kAllStrategies) {
+      RunStrategy(q, s, Db(), &stats[s]);
+    }
+    const double e5_dc = model.QuerySeconds(e5, stats[Strategy::kDataCentric], 1);
+    const double e5_aa = model.QuerySeconds(e5, stats[Strategy::kAccessAware], 1);
+    const double pi_dc = model.QuerySeconds(pi, stats[Strategy::kDataCentric], 1);
+    const double pi_aa = model.QuerySeconds(pi, stats[Strategy::kAccessAware], 1);
+    EXPECT_LE(e5_aa, e5_dc * 1.05) << "Q" << q;
+    e5_gap += e5_dc / e5_aa;
+    pi_gap += pi_dc / pi_aa;
+    ++n;
+  }
+  EXPECT_LT(pi_gap / n, e5_gap / n);  // "less pronounced on the Pi"
+}
+
+TEST(StrategyTest, NamesAreStable) {
+  EXPECT_STREQ(StrategyName(Strategy::kDataCentric), "data-centric");
+  EXPECT_STREQ(StrategyName(Strategy::kHybrid), "hybrid");
+  EXPECT_STREQ(StrategyName(Strategy::kAccessAware), "access-aware");
+}
+
+}  // namespace
+}  // namespace wimpi::strategies

@@ -1,0 +1,68 @@
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "tpch/dbgen.h"
+#include "tpch/tbl_io.h"
+
+namespace wimpi::tpch {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TblIoTest, RoundTripLineitem) {
+  GenOptions opts;
+  opts.scale_factor = 0.002;
+  std::shared_ptr<storage::Table> orders, lineitem;
+  GenerateOrdersAndLineitem(opts, &orders, &lineitem);
+
+  const std::string path = TempPath("wimpi_lineitem_test.tbl");
+  auto written = WriteTbl(*lineitem, path);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(*written, lineitem->num_rows());
+
+  storage::Table loaded("lineitem", lineitem->schema());
+  auto read = ReadTbl(path, &loaded);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  loaded.FinishLoad();
+  ASSERT_EQ(loaded.num_rows(), lineitem->num_rows());
+  for (int64_t i = 0; i < loaded.num_rows(); i += 17) {
+    EXPECT_EQ(loaded.column("l_orderkey").I64Data()[i],
+              lineitem->column("l_orderkey").I64Data()[i]);
+    EXPECT_EQ(loaded.column("l_shipdate").I32Data()[i],
+              lineitem->column("l_shipdate").I32Data()[i]);
+    EXPECT_NEAR(loaded.column("l_extendedprice").F64Data()[i],
+                lineitem->column("l_extendedprice").F64Data()[i], 0.005);
+    EXPECT_EQ(loaded.column("l_shipmode").StringAt(i),
+              lineitem->column("l_shipmode").StringAt(i));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TblIoTest, ReadRejectsWrongArity) {
+  const std::string path = TempPath("wimpi_bad.tbl");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1|2|\n", f);
+    std::fclose(f);
+  }
+  storage::Schema s({{"a", storage::DataType::kInt32}});
+  storage::Table t("t", s);
+  const auto r = ReadTbl(path, &t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(TblIoTest, MissingFileIsNotFound) {
+  storage::Schema s({{"a", storage::DataType::kInt32}});
+  storage::Table t("t", s);
+  const auto r = ReadTbl("/nonexistent/nope.tbl", &t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wimpi::tpch

@@ -1,0 +1,89 @@
+#ifndef WIMPI_TESTS_TEST_UTIL_H_
+#define WIMPI_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "exec/relation.h"
+#include "gtest/gtest.h"
+#include "reference.h"
+
+namespace wimpi {
+
+// Converts an engine relation to reference-result form: int32/date/int64 ->
+// int64, float64 -> double, string -> std::string.
+inline tpch_ref::RefResult ToRefResult(const exec::Relation& rel) {
+  tpch_ref::RefResult out;
+  out.reserve(rel.num_rows());
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    tpch_ref::RefRow row;
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      const auto& col = rel.column(c);
+      switch (col.type()) {
+        case storage::DataType::kInt64:
+          row.emplace_back(col.I64Data()[r]);
+          break;
+        case storage::DataType::kFloat64:
+          row.emplace_back(col.F64Data()[r]);
+          break;
+        case storage::DataType::kString:
+          row.emplace_back(std::string(col.StringAt(r)));
+          break;
+        default:
+          row.emplace_back(static_cast<int64_t>(col.I32Data()[r]));
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+inline std::string RefRowToString(const tpch_ref::RefRow& row) {
+  std::ostringstream os;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << '|';
+    if (std::holds_alternative<int64_t>(row[i])) {
+      os << std::get<int64_t>(row[i]);
+    } else if (std::holds_alternative<double>(row[i])) {
+      os << std::get<double>(row[i]);
+    } else {
+      os << std::get<std::string>(row[i]);
+    }
+  }
+  return os.str();
+}
+
+// Cell-wise comparison with relative/absolute tolerance on doubles.
+inline void ExpectRefResultsEqual(const tpch_ref::RefResult& actual,
+                                  const tpch_ref::RefResult& expected,
+                                  double tol = 1e-6) {
+  ASSERT_EQ(actual.size(), expected.size()) << "row count mismatch";
+  for (size_t r = 0; r < actual.size(); ++r) {
+    ASSERT_EQ(actual[r].size(), expected[r].size()) << "arity at row " << r;
+    for (size_t c = 0; c < actual[r].size(); ++c) {
+      const auto& a = actual[r][c];
+      const auto& e = expected[r][c];
+      if (std::holds_alternative<double>(e)) {
+        ASSERT_TRUE(std::holds_alternative<double>(a))
+            << "type mismatch at (" << r << "," << c << ")";
+        const double av = std::get<double>(a);
+        const double ev = std::get<double>(e);
+        const double bound = tol * std::max({1.0, std::fabs(av), std::fabs(ev)});
+        ASSERT_NEAR(av, ev, bound)
+            << "row " << r << " col " << c << "\n actual:   "
+            << RefRowToString(actual[r]) << "\n expected: "
+            << RefRowToString(expected[r]);
+      } else {
+        ASSERT_TRUE(a == e) << "row " << r << " col " << c
+                            << "\n actual:   " << RefRowToString(actual[r])
+                            << "\n expected: " << RefRowToString(expected[r]);
+      }
+    }
+  }
+}
+
+}  // namespace wimpi
+
+#endif  // WIMPI_TESTS_TEST_UTIL_H_

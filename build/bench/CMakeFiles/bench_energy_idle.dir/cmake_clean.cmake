@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_idle.dir/bench_energy_idle.cc.o"
+  "CMakeFiles/bench_energy_idle.dir/bench_energy_idle.cc.o.d"
+  "bench_energy_idle"
+  "bench_energy_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_msrp.dir/bench_fig5_msrp.cc.o"
+  "CMakeFiles/bench_fig5_msrp.dir/bench_fig5_msrp.cc.o.d"
+  "bench_fig5_msrp"
+  "bench_fig5_msrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_msrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

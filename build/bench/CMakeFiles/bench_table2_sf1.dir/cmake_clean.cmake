@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sf1.dir/bench_table2_sf1.cc.o"
+  "CMakeFiles/bench_table2_sf1.dir/bench_table2_sf1.cc.o.d"
+  "bench_table2_sf1"
+  "bench_table2_sf1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sf1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

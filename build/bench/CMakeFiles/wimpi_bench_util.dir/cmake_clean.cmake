@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/wimpi_bench_util.dir/bench_util.cc.o.d"
+  "libwimpi_bench_util.a"
+  "libwimpi_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_advisor.dir/hardware_advisor.cpp.o"
+  "CMakeFiles/hardware_advisor.dir/hardware_advisor.cpp.o.d"
+  "hardware_advisor"
+  "hardware_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_analysis.dir/metrics.cc.o"
+  "CMakeFiles/wimpi_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/wimpi_analysis.dir/power.cc.o"
+  "CMakeFiles/wimpi_analysis.dir/power.cc.o.d"
+  "libwimpi_analysis.a"
+  "libwimpi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

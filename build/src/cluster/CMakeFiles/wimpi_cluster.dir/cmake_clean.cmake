@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_cluster.dir/partials.cc.o"
+  "CMakeFiles/wimpi_cluster.dir/partials.cc.o.d"
+  "CMakeFiles/wimpi_cluster.dir/partition.cc.o"
+  "CMakeFiles/wimpi_cluster.dir/partition.cc.o.d"
+  "CMakeFiles/wimpi_cluster.dir/wimpi_cluster.cc.o"
+  "CMakeFiles/wimpi_cluster.dir/wimpi_cluster.cc.o.d"
+  "libwimpi_cluster.a"
+  "libwimpi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

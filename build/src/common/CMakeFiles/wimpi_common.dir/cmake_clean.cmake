@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_common.dir/cli.cc.o"
+  "CMakeFiles/wimpi_common.dir/cli.cc.o.d"
+  "CMakeFiles/wimpi_common.dir/date.cc.o"
+  "CMakeFiles/wimpi_common.dir/date.cc.o.d"
+  "CMakeFiles/wimpi_common.dir/decimal.cc.o"
+  "CMakeFiles/wimpi_common.dir/decimal.cc.o.d"
+  "CMakeFiles/wimpi_common.dir/logging.cc.o"
+  "CMakeFiles/wimpi_common.dir/logging.cc.o.d"
+  "CMakeFiles/wimpi_common.dir/strings.cc.o"
+  "CMakeFiles/wimpi_common.dir/strings.cc.o.d"
+  "CMakeFiles/wimpi_common.dir/table_printer.cc.o"
+  "CMakeFiles/wimpi_common.dir/table_printer.cc.o.d"
+  "libwimpi_common.a"
+  "libwimpi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_engine.dir/query_result.cc.o"
+  "CMakeFiles/wimpi_engine.dir/query_result.cc.o.d"
+  "libwimpi_engine.a"
+  "libwimpi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_exec.dir/aggregate.cc.o"
+  "CMakeFiles/wimpi_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/wimpi_exec.dir/expr.cc.o"
+  "CMakeFiles/wimpi_exec.dir/expr.cc.o.d"
+  "CMakeFiles/wimpi_exec.dir/filter.cc.o"
+  "CMakeFiles/wimpi_exec.dir/filter.cc.o.d"
+  "CMakeFiles/wimpi_exec.dir/join.cc.o"
+  "CMakeFiles/wimpi_exec.dir/join.cc.o.d"
+  "CMakeFiles/wimpi_exec.dir/sort.cc.o"
+  "CMakeFiles/wimpi_exec.dir/sort.cc.o.d"
+  "libwimpi_exec.a"
+  "libwimpi_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_hw.dir/cost_model.cc.o"
+  "CMakeFiles/wimpi_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/wimpi_hw.dir/profile.cc.o"
+  "CMakeFiles/wimpi_hw.dir/profile.cc.o.d"
+  "libwimpi_hw.a"
+  "libwimpi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_micro.dir/kernels.cc.o"
+  "CMakeFiles/wimpi_micro.dir/kernels.cc.o.d"
+  "CMakeFiles/wimpi_micro.dir/model.cc.o"
+  "CMakeFiles/wimpi_micro.dir/model.cc.o.d"
+  "libwimpi_micro.a"
+  "libwimpi_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_storage.dir/column.cc.o"
+  "CMakeFiles/wimpi_storage.dir/column.cc.o.d"
+  "CMakeFiles/wimpi_storage.dir/dictionary.cc.o"
+  "CMakeFiles/wimpi_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/wimpi_storage.dir/table.cc.o"
+  "CMakeFiles/wimpi_storage.dir/table.cc.o.d"
+  "libwimpi_storage.a"
+  "libwimpi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwimpi_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_strategies.dir/strategies.cc.o"
+  "CMakeFiles/wimpi_strategies.dir/strategies.cc.o.d"
+  "libwimpi_strategies.a"
+  "libwimpi_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dbgen.cc" "src/tpch/CMakeFiles/wimpi_tpch.dir/dbgen.cc.o" "gcc" "src/tpch/CMakeFiles/wimpi_tpch.dir/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries_a.cc" "src/tpch/CMakeFiles/wimpi_tpch.dir/queries_a.cc.o" "gcc" "src/tpch/CMakeFiles/wimpi_tpch.dir/queries_a.cc.o.d"
+  "/root/repo/src/tpch/queries_b.cc" "src/tpch/CMakeFiles/wimpi_tpch.dir/queries_b.cc.o" "gcc" "src/tpch/CMakeFiles/wimpi_tpch.dir/queries_b.cc.o.d"
+  "/root/repo/src/tpch/query_utils.cc" "src/tpch/CMakeFiles/wimpi_tpch.dir/query_utils.cc.o" "gcc" "src/tpch/CMakeFiles/wimpi_tpch.dir/query_utils.cc.o.d"
+  "/root/repo/src/tpch/tbl_io.cc" "src/tpch/CMakeFiles/wimpi_tpch.dir/tbl_io.cc.o" "gcc" "src/tpch/CMakeFiles/wimpi_tpch.dir/tbl_io.cc.o.d"
+  "/root/repo/src/tpch/text.cc" "src/tpch/CMakeFiles/wimpi_tpch.dir/text.cc.o" "gcc" "src/tpch/CMakeFiles/wimpi_tpch.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/wimpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/wimpi_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wimpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

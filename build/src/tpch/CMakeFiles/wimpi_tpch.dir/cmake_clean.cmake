@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/wimpi_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/wimpi_tpch.dir/queries_a.cc.o"
+  "CMakeFiles/wimpi_tpch.dir/queries_a.cc.o.d"
+  "CMakeFiles/wimpi_tpch.dir/queries_b.cc.o"
+  "CMakeFiles/wimpi_tpch.dir/queries_b.cc.o.d"
+  "CMakeFiles/wimpi_tpch.dir/query_utils.cc.o"
+  "CMakeFiles/wimpi_tpch.dir/query_utils.cc.o.d"
+  "CMakeFiles/wimpi_tpch.dir/tbl_io.cc.o"
+  "CMakeFiles/wimpi_tpch.dir/tbl_io.cc.o.d"
+  "CMakeFiles/wimpi_tpch.dir/text.cc.o"
+  "CMakeFiles/wimpi_tpch.dir/text.cc.o.d"
+  "libwimpi_tpch.a"
+  "libwimpi_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

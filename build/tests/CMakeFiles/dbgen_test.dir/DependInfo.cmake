@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dbgen_test.cc" "tests/CMakeFiles/dbgen_test.dir/dbgen_test.cc.o" "gcc" "tests/CMakeFiles/dbgen_test.dir/dbgen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/wimpi_tpch_reference.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/wimpi_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wimpi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/wimpi_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/wimpi_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wimpi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wimpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wimpi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/wimpi_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wimpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

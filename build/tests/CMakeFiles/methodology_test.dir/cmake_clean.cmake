@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_test.dir/methodology_test.cc.o"
+  "CMakeFiles/methodology_test.dir/methodology_test.cc.o.d"
+  "methodology_test"
+  "methodology_test.pdb"
+  "methodology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reference_a.cc" "tests/CMakeFiles/wimpi_tpch_reference.dir/reference_a.cc.o" "gcc" "tests/CMakeFiles/wimpi_tpch_reference.dir/reference_a.cc.o.d"
+  "/root/repo/tests/reference_b.cc" "tests/CMakeFiles/wimpi_tpch_reference.dir/reference_b.cc.o" "gcc" "tests/CMakeFiles/wimpi_tpch_reference.dir/reference_b.cc.o.d"
+  "/root/repo/tests/reference_load.cc" "tests/CMakeFiles/wimpi_tpch_reference.dir/reference_load.cc.o" "gcc" "tests/CMakeFiles/wimpi_tpch_reference.dir/reference_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/wimpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/wimpi_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wimpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpi_tpch_reference.dir/reference_a.cc.o"
+  "CMakeFiles/wimpi_tpch_reference.dir/reference_a.cc.o.d"
+  "CMakeFiles/wimpi_tpch_reference.dir/reference_b.cc.o"
+  "CMakeFiles/wimpi_tpch_reference.dir/reference_b.cc.o.d"
+  "CMakeFiles/wimpi_tpch_reference.dir/reference_load.cc.o"
+  "CMakeFiles/wimpi_tpch_reference.dir/reference_load.cc.o.d"
+  "libwimpi_tpch_reference.a"
+  "libwimpi_tpch_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpi_tpch_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

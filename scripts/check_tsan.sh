@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the parallel-execution tests under ThreadSanitizer and runs them.
+# Intended for CI: any data race in the thread pool, scheduler, or the
+# morsel-parallel operator paths fails the script.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWIMPI_SANITIZE=thread
+
+cmake --build "${build_dir}" --target parallel_test parallel_queries_test -j
+
+# halt_on_error so the first race fails fast with a nonzero exit code.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+"${build_dir}/tests/parallel_test"
+# The full 132-case matrix regenerates TPC-H data per process under ctest;
+# running the binary directly keeps the TSan pass quick while still covering
+# every query at every thread count.
+"${build_dir}/tests/parallel_queries_test"
+
+echo "TSan parallel test pass: OK"

@@ -1,6 +1,7 @@
 #include "cluster/partials.h"
 
 #include "common/date.h"
+#include "exec/relation_ops.h"
 #include "tpch/queries.h"
 #include "tpch/query_utils.h"
 
@@ -42,51 +43,7 @@ Relation ScalarF64(const std::string& name, double v) {
 bool QueryFansOut(int q) { return tpch::InSf10Subset(q) && q != 13; }
 
 Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats) {
-  WIMPI_CHECK(!parts.empty());
-  Relation out;
-  const Relation& first = parts[0];
-  double bytes = 0;
-  for (int c = 0; c < first.num_columns(); ++c) {
-    const auto& proto = first.column(c);
-    auto col = proto.dict() != nullptr
-                   ? std::make_unique<storage::Column>(proto.type(),
-                                                       proto.dict())
-                   : std::make_unique<storage::Column>(proto.type());
-    for (const Relation& part : parts) {
-      const auto& src = part.column(c);
-      WIMPI_CHECK(src.type() == proto.type());
-      WIMPI_CHECK(src.dict() == proto.dict())
-          << "concat requires shared dictionaries";
-      const int64_t n = src.size();
-      switch (src.type()) {
-        case storage::DataType::kInt64:
-          col->MutableI64().insert(col->MutableI64().end(), src.I64Data(),
-                                   src.I64Data() + n);
-          break;
-        case storage::DataType::kFloat64:
-          col->MutableF64().insert(col->MutableF64().end(), src.F64Data(),
-                                   src.F64Data() + n);
-          break;
-        default:
-          col->MutableI32().insert(col->MutableI32().end(), src.I32Data(),
-                                   src.I32Data() + n);
-          break;
-      }
-      bytes += static_cast<double>(n) * storage::TypeWidth(src.type());
-    }
-    out.AddColumn(first.name(c), std::move(col));
-  }
-  if (stats != nullptr) {
-    exec::OpStats op;
-    op.op = "concat_partials";
-    op.seq_bytes = 2 * bytes;
-    op.output_bytes = bytes;
-    op.compute_ops = bytes / 8;
-    op.parallel_fraction = 0.0;  // coordinator-side, single stream
-    stats->Add(std::move(op));
-    stats->TrackAlloc(bytes);
-  }
-  return out;
+  return exec::ConcatRelations(std::move(parts), stats);
 }
 
 // ---------- Partial plans ----------
@@ -122,7 +79,7 @@ Relation PartialQ1(const Database& db, QueryStats* stats) {
 }
 
 Relation MergeQ1(std::vector<Relation> partials, QueryStats* stats) {
-  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation all = exec::ConcatRelations(std::move(partials), stats);
   Relation agg = exec::HashAggregate(
       ColumnSource(all), {"l_returnflag", "l_linestatus"},
       {{AggFn::kSum, "sum_qty", "sum_qty"},
@@ -182,7 +139,7 @@ Relation PartialQ3(const Database& db, QueryStats* stats) {
 }
 
 Relation MergeQ3(std::vector<Relation> partials, QueryStats* stats) {
-  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation all = exec::ConcatRelations(std::move(partials), stats);
   // Re-sort on (revenue, o_orderdate): column order is
   // l_orderkey, o_orderdate, o_shippriority, revenue.
   return exec::SortRelation(all, {{"revenue", false}, {"o_orderdate", true}},
@@ -208,7 +165,7 @@ Relation PartialQ4(const Database& db, QueryStats* stats) {
 }
 
 Relation MergeQ4(std::vector<Relation> partials, QueryStats* stats) {
-  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation all = exec::ConcatRelations(std::move(partials), stats);
   Relation agg = exec::HashAggregate(
       ColumnSource(all), {"o_orderpriority"},
       {{AggFn::kSumI64, "order_count", "order_count"}}, stats);
@@ -250,7 +207,7 @@ Relation PartialQ5(const Database& db, QueryStats* stats) {
 
 Relation MergeQ5(const Database& coord_db, std::vector<Relation> partials,
                  QueryStats* stats) {
-  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation all = exec::ConcatRelations(std::move(partials), stats);
   Relation agg = exec::HashAggregate(ColumnSource(all), {"s_nationkey"},
                                      {{AggFn::kSum, "revenue", "revenue"}},
                                      stats);
@@ -278,7 +235,7 @@ Relation PartialQ6(const Database& db, QueryStats* stats) {
 
 Relation MergeScalarSum(const std::string& name,
                         std::vector<Relation> partials, QueryStats* stats) {
-  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation all = exec::ConcatRelations(std::move(partials), stats);
   return ScalarF64(name, exec::SumF64(all.column(name), stats));
 }
 
@@ -310,7 +267,7 @@ Relation PartialQ14(const Database& db, QueryStats* stats) {
 }
 
 Relation MergeQ14(std::vector<Relation> partials, QueryStats* stats) {
-  Relation all = ConcatRelations(std::move(partials), stats);
+  Relation all = exec::ConcatRelations(std::move(partials), stats);
   const double promo = exec::SumF64(all.column("promo"), stats);
   const double total = exec::SumF64(all.column("total"), stats);
   return ScalarF64("promo_revenue", total == 0 ? 0 : 100.0 * promo / total);

@@ -1,0 +1,47 @@
+#ifndef WIMPI_ENGINE_EXECUTOR_H_
+#define WIMPI_ENGINE_EXECUTOR_H_
+
+#include <functional>
+#include <utility>
+
+#include "exec/counters.h"
+#include "exec/exec_options.h"
+#include "exec/relation.h"
+
+namespace wimpi::engine {
+
+// Engine entry point for running query plans under a chosen degree of
+// parallelism. The executor installs its ExecOptions for the duration of
+// each plan (RAII), so operator-library calls inside the plan pick up the
+// morsel-parallel paths; with the default options (one thread) every plan
+// runs exactly as the single-threaded engine always has.
+//
+// Stats stay race-free without atomics: worker threads never touch the
+// QueryStats — each operator's parallel phase collects per-morsel partial
+// counters and the calling thread folds them into one OpStats after the
+// morsels join, so `stats` sees the same single-stream of Add() calls as
+// sequential execution.
+class Executor {
+ public:
+  explicit Executor(exec::ExecOptions opts = {}) : opts_(opts) {}
+
+  const exec::ExecOptions& options() const { return opts_; }
+  void set_num_threads(int n) { opts_.num_threads = n; }
+  void set_morsel_rows(int64_t rows) { opts_.morsel_rows = rows; }
+
+  // Runs `plan` (any callable taking QueryStats* — typically returning a
+  // Relation) with this executor's options installed, restoring the
+  // previous ambient options afterwards.
+  template <typename Plan>
+  auto Run(const Plan& plan, exec::QueryStats* stats = nullptr) const {
+    exec::ScopedExecOptions scope(opts_);
+    return plan(stats);
+  }
+
+ private:
+  exec::ExecOptions opts_;
+};
+
+}  // namespace wimpi::engine
+
+#endif  // WIMPI_ENGINE_EXECUTOR_H_

@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/morsel_exec.h"
+#include "exec/relation_ops.h"
 
 namespace wimpi::exec {
 namespace {
@@ -168,6 +170,163 @@ std::unique_ptr<Column> Finalize(const AggState& s, int64_t n_groups) {
   return nullptr;
 }
 
+// Group table + per-agg states built over the row range [begin, end). This
+// is the whole sequential algorithm; the public entry runs it over the full
+// range, while the parallel path runs one instance per thread chunk and a
+// final sequential instance over the concatenated partials.
+struct GroupedAgg {
+  std::vector<int32_t> group_rep;  // first source row of each group
+  std::vector<AggState> states;
+  double chain_steps = 0;
+};
+
+GroupedAgg AggregateRange(const ColumnSource& src,
+                          const std::vector<const Column*>& keys,
+                          const std::vector<AggSpec>& aggs, int64_t begin,
+                          int64_t end) {
+  GroupedAgg out;
+  out.states.resize(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    out.states[i].fn = aggs[i].fn;
+    if (aggs[i].fn != AggFn::kCountStar) {
+      out.states[i].in = &src.column(aggs[i].in);
+    }
+  }
+
+  if (keys.empty()) {
+    // Global aggregate: one group covering all rows.
+    for (auto& s : out.states) s.AddGroup();
+    for (int64_t row = begin; row < end; ++row) {
+      for (auto& s : out.states) s.Update(0, row);
+    }
+    out.group_rep.push_back(static_cast<int32_t>(begin));
+    return out;
+  }
+
+  const int64_t n = end - begin;
+  const uint64_t n_buckets =
+      std::bit_ceil(static_cast<uint64_t>(std::max<int64_t>(n / 2, 16)));
+  const uint64_t mask = n_buckets - 1;
+  std::vector<int32_t> head(n_buckets, -1);
+  std::vector<int32_t> next;  // chains group ids
+
+  for (int64_t row = begin; row < end; ++row) {
+    uint64_t h = ValueHash(*keys[0], row);
+    for (size_t k = 1; k < keys.size(); ++k) {
+      h = HashCombine(h, ValueHash(*keys[k], row));
+    }
+    const uint64_t b = h & mask;
+    int32_t g = -1;
+    for (int32_t e = head[b]; e >= 0; e = next[e]) {
+      ++out.chain_steps;
+      bool eq = true;
+      for (const Column* key : keys) {
+        if (!ValueEq(*key, out.group_rep[e], row)) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) {
+        g = e;
+        break;
+      }
+    }
+    if (g < 0) {
+      g = static_cast<int32_t>(out.group_rep.size());
+      out.group_rep.push_back(static_cast<int32_t>(row));
+      next.push_back(head[b]);
+      head[b] = g;
+      for (auto& s : out.states) s.AddGroup();
+    }
+    for (auto& s : out.states) s.Update(g, row);
+  }
+  return out;
+}
+
+// Gathered group keys followed by finalized aggregate columns — the output
+// shape of both the full aggregation and each per-thread partial.
+Relation FinalizeGroups(const std::vector<const Column*>& keys,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs,
+                        const GroupedAgg& g) {
+  const auto n_groups = static_cast<int64_t>(g.group_rep.size());
+  Relation out;
+  if (!keys.empty()) {
+    SelVec sel(g.group_rep.begin(), g.group_rep.end());
+    for (size_t k = 0; k < keys.size(); ++k) {
+      out.AddColumn(group_by[k], Gather(*keys[k], sel, nullptr));
+    }
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    out.AddColumn(aggs[i].out, Finalize(g.states[i], n_groups));
+  }
+  return out;
+}
+
+int StateWidth(AggFn fn) {
+  switch (fn) {
+    case AggFn::kAvg:
+      return 16;  // sum + count
+    default:
+      return 8;
+  }
+}
+
+// Decomposition of one user-facing aggregate into a chunk-local partial
+// aggregate (computed per thread) and the merge aggregate that recombines
+// the concatenated partials: sums re-sum, counts sum as integers, min/max
+// re-min/max, and avg ships sum+count so the final division is exact.
+struct PartialPlan {
+  std::vector<AggSpec> partial;  // run per chunk
+  std::vector<AggSpec> merge;    // run over the concatenated partials
+  // For aggs[i]: index of its merged column, and for kAvg the index of the
+  // merged count column that completes the division.
+  std::vector<int> value_idx;
+  std::vector<int> count_idx;
+};
+
+PartialPlan PlanPartials(const std::vector<AggSpec>& aggs) {
+  PartialPlan plan;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggSpec& a = aggs[i];
+    std::string pcol = std::to_string(i);
+    pcol.insert(pcol.begin(), 'p');
+    plan.value_idx.push_back(static_cast<int>(plan.partial.size()));
+    plan.count_idx.push_back(-1);
+    switch (a.fn) {
+      case AggFn::kSum:
+        plan.partial.push_back({AggFn::kSum, a.in, pcol});
+        plan.merge.push_back({AggFn::kSum, pcol, pcol});
+        break;
+      case AggFn::kSumI64:
+        plan.partial.push_back({AggFn::kSumI64, a.in, pcol});
+        plan.merge.push_back({AggFn::kSumI64, pcol, pcol});
+        break;
+      case AggFn::kMin:
+        plan.partial.push_back({AggFn::kMin, a.in, pcol});
+        plan.merge.push_back({AggFn::kMin, pcol, pcol});
+        break;
+      case AggFn::kMax:
+        plan.partial.push_back({AggFn::kMax, a.in, pcol});
+        plan.merge.push_back({AggFn::kMax, pcol, pcol});
+        break;
+      case AggFn::kCount:
+      case AggFn::kCountStar:
+        plan.partial.push_back({a.fn, a.in, pcol});
+        plan.merge.push_back({AggFn::kSumI64, pcol, pcol});
+        break;
+      case AggFn::kAvg:
+        plan.partial.push_back({AggFn::kSum, a.in, pcol + "s"});
+        plan.merge.push_back({AggFn::kSum, pcol + "s", pcol + "s"});
+        plan.count_idx.back() = static_cast<int>(plan.partial.size());
+        plan.partial.push_back({AggFn::kCount, a.in, pcol + "c"});
+        plan.merge.push_back({AggFn::kSumI64, pcol + "c", pcol + "c"});
+        break;
+    }
+  }
+  return plan;
+}
+
 }  // namespace
 
 Relation HashAggregate(const ColumnSource& src,
@@ -179,89 +338,82 @@ Relation HashAggregate(const ColumnSource& src,
   keys.reserve(group_by.size());
   for (const auto& name : group_by) keys.push_back(&src.column(name));
 
-  std::vector<AggState> states(aggs.size());
-  for (size_t i = 0; i < aggs.size(); ++i) {
-    states[i].fn = aggs[i].fn;
-    if (aggs[i].fn != AggFn::kCountStar) {
-      states[i].in = &src.column(aggs[i].in);
-    }
-  }
-
-  std::vector<int32_t> group_rep;  // first source row of each group
-  double chain_steps = 0;
-
-  if (keys.empty()) {
-    // Global aggregate: one group covering all rows.
-    for (auto& s : states) s.AddGroup();
-    for (int64_t row = 0; row < n; ++row) {
-      for (auto& s : states) s.Update(0, row);
-    }
-    group_rep.push_back(0);
-  } else {
-    const uint64_t n_buckets =
-        std::bit_ceil(static_cast<uint64_t>(std::max<int64_t>(n / 2, 16)));
-    const uint64_t mask = n_buckets - 1;
-    std::vector<int32_t> head(n_buckets, -1);
-    std::vector<int32_t> next;  // chains group ids
-
-    for (int64_t row = 0; row < n; ++row) {
-      uint64_t h = ValueHash(*keys[0], row);
-      for (size_t k = 1; k < keys.size(); ++k) {
-        h = HashCombine(h, ValueHash(*keys[k], row));
-      }
-      const uint64_t b = h & mask;
-      int32_t g = -1;
-      for (int32_t e = head[b]; e >= 0; e = next[e]) {
-        ++chain_steps;
-        bool eq = true;
-        for (const Column* key : keys) {
-          if (!ValueEq(*key, group_rep[e], row)) {
-            eq = false;
-            break;
-          }
-        }
-        if (eq) {
-          g = e;
-          break;
-        }
-      }
-      if (g < 0) {
-        g = static_cast<int32_t>(group_rep.size());
-        group_rep.push_back(static_cast<int32_t>(row));
-        next.push_back(head[b]);
-        head[b] = g;
-        for (auto& s : states) s.AddGroup();
-      }
-      for (auto& s : states) s.Update(g, row);
-    }
-  }
-
-  const auto n_groups = static_cast<int64_t>(group_rep.size());
+  const int threads = PlannedThreads(n);
 
   Relation out;
-  // Group-key columns first (gathered representative values)...
-  if (!keys.empty()) {
-    SelVec sel(group_rep.begin(), group_rep.end());
-    for (size_t k = 0; k < keys.size(); ++k) {
-      out.AddColumn(group_by[k], Gather(*keys[k], sel, nullptr));
+  double chain_steps = 0;
+  int64_t n_groups = 0;
+
+  if (threads <= 1) {
+    GroupedAgg g = AggregateRange(src, keys, aggs, 0, n);
+    chain_steps = g.chain_steps;
+    n_groups = static_cast<int64_t>(g.group_rep.size());
+    out = FinalizeGroups(keys, group_by, aggs, g);
+  } else {
+    // Thread-local aggregation: each chunk builds its own group table (no
+    // shared mutable state), the partial tables concatenate in chunk order,
+    // and one sequential merge pass recombines them — the same shape the
+    // cluster coordinator uses for node partials. Group order is preserved:
+    // first-appearance order across the concatenated chunks is exactly the
+    // sequential scan's first-appearance order.
+    const PartialPlan plan = PlanPartials(aggs);
+    const int64_t chunk_rows = (n + threads - 1) / threads;
+    const int n_chunks =
+        static_cast<int>((n + chunk_rows - 1) / chunk_rows);
+    std::vector<Relation> parts(n_chunks);
+    std::vector<double> part_steps(n_chunks, 0);
+    RunChunks(n, chunk_rows, threads, [&](const parallel::Morsel& m) {
+      GroupedAgg g = AggregateRange(src, keys, plan.partial, m.begin, m.end);
+      part_steps[m.index] = g.chain_steps;
+      parts[m.index] = FinalizeGroups(keys, group_by, plan.partial, g);
+    });
+    for (const double s : part_steps) chain_steps += s;
+
+    Relation all = ConcatRelations(std::move(parts), nullptr);
+    ColumnSource merge_src(all);
+    std::vector<const Column*> merge_keys;
+    merge_keys.reserve(group_by.size());
+    for (const auto& name : group_by) {
+      merge_keys.push_back(&merge_src.column(name));
     }
-  }
-  // ...then the aggregates.
-  for (size_t i = 0; i < aggs.size(); ++i) {
-    out.AddColumn(aggs[i].out, Finalize(states[i], n_groups));
+    GroupedAgg merged = AggregateRange(merge_src, merge_keys, plan.merge, 0,
+                                       all.num_rows());
+    chain_steps += merged.chain_steps;
+    n_groups = static_cast<int64_t>(merged.group_rep.size());
+
+    if (!merge_keys.empty()) {
+      SelVec sel(merged.group_rep.begin(), merged.group_rep.end());
+      for (size_t k = 0; k < merge_keys.size(); ++k) {
+        out.AddColumn(group_by[k], Gather(*merge_keys[k], sel, nullptr));
+      }
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].fn == AggFn::kAvg) {
+        const AggState& sum_s = merged.states[plan.value_idx[i]];
+        const AggState& cnt_s = merged.states[plan.count_idx[i]];
+        auto col = std::make_unique<Column>(DataType::kFloat64);
+        auto& v = col->MutableF64();
+        v.resize(n_groups);
+        for (int64_t g = 0; g < n_groups; ++g) {
+          v[g] = cnt_s.count[g] == 0
+                     ? 0
+                     : sum_s.acc[g] / static_cast<double>(cnt_s.count[g]);
+        }
+        out.AddColumn(aggs[i].out, std::move(col));
+      } else {
+        out.AddColumn(aggs[i].out,
+                      Finalize(merged.states[plan.value_idx[i]], n_groups));
+      }
+    }
   }
 
   if (stats != nullptr) {
     int key_width = 0;
     for (const Column* k : keys) key_width += storage::TypeWidth(k->type());
     int state_width = 0;
-    for (const auto& s : states) {
-      state_width += s.acc.empty() ? 0 : 8;
-      state_width += s.count.empty() ? 0 : 8;
-    }
+    for (const auto& a : aggs) state_width += StateWidth(a.fn);
     const double table_bytes =
-        static_cast<double>(n_groups) * (key_width + state_width + 8) +
-        (keys.empty() ? 0.0 : static_cast<double>(n)) * 0;  // heads ~ groups*2
+        static_cast<double>(n_groups) * (key_width + state_width + 8);
     OpStats op;
     op.op = "hash_aggregate";
     op.compute_ops =
@@ -285,7 +437,18 @@ double SumF64(const Column& col, QueryStats* stats) {
   const int64_t n = col.size();
   double sum = 0;
   const double* d = col.F64Data();
-  for (int64_t i = 0; i < n; ++i) sum += d[i];
+  const int threads = PlannedThreads(n);
+  if (threads <= 1) {
+    for (int64_t i = 0; i < n; ++i) sum += d[i];
+  } else {
+    std::vector<double> partial(NumMorsels(n), 0.0);
+    RunMorsels(n, threads, [&](const parallel::Morsel& m) {
+      double local = 0;
+      for (int64_t i = m.begin; i < m.end; ++i) local += d[i];
+      partial[m.index] = local;
+    });
+    for (const double p : partial) sum += p;
+  }
   if (stats != nullptr) {
     OpStats op;
     op.op = "sum_f64";
@@ -306,7 +469,21 @@ double MaxF64(const Column& col, QueryStats* stats) {
   const int64_t n = col.size();
   double m = -std::numeric_limits<double>::infinity();
   const double* d = col.F64Data();
-  for (int64_t i = 0; i < n; ++i) m = std::max(m, d[i]);
+  const int threads = PlannedThreads(n);
+  if (threads <= 1) {
+    for (int64_t i = 0; i < n; ++i) m = std::max(m, d[i]);
+  } else {
+    std::vector<double> partial(NumMorsels(n),
+                                -std::numeric_limits<double>::infinity());
+    RunMorsels(n, threads, [&](const parallel::Morsel& mo) {
+      double local = -std::numeric_limits<double>::infinity();
+      for (int64_t i = mo.begin; i < mo.end; ++i) {
+        local = std::max(local, d[i]);
+      }
+      partial[mo.index] = local;
+    });
+    for (const double p : partial) m = std::max(m, p);
+  }
   if (stats != nullptr) {
     OpStats op;
     op.op = "max_f64";

@@ -1,0 +1,40 @@
+#include "exec/exec_options.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+
+namespace wimpi::exec {
+
+namespace {
+ExecOptions g_options;
+}  // namespace
+
+const ExecOptions& CurrentExecOptions() { return g_options; }
+
+void SetExecOptions(const ExecOptions& opts) { g_options = opts; }
+
+ScopedExecOptions::ScopedExecOptions(const ExecOptions& opts)
+    : prev_(CurrentExecOptions()) {
+  SetExecOptions(opts);
+}
+
+ScopedExecOptions::~ScopedExecOptions() { SetExecOptions(prev_); }
+
+int PlannedThreads(int64_t rows) {
+  const ExecOptions& opts = g_options;
+  int threads = opts.num_threads;
+  if (threads <= 0) {
+    threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  if (threads == 1) return 1;
+  if (parallel::ThreadPool::OnWorkerThread()) return 1;
+  const int64_t morsels =
+      (rows + opts.morsel_rows - 1) / std::max<int64_t>(1, opts.morsel_rows);
+  return static_cast<int>(std::min<int64_t>(threads, std::max<int64_t>(1,
+                                                                       morsels)));
+}
+
+}  // namespace wimpi::exec

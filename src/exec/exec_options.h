@@ -1,0 +1,50 @@
+#ifndef WIMPI_EXEC_EXEC_OPTIONS_H_
+#define WIMPI_EXEC_EXEC_OPTIONS_H_
+
+#include <cstdint>
+
+namespace wimpi::exec {
+
+// Engine-wide execution knobs. The default (one thread) preserves the
+// seed behaviour bit-for-bit: every operator takes its original sequential
+// path and no thread pool is ever touched, so existing tests and benches
+// are unaffected unless a caller opts in.
+struct ExecOptions {
+  // Maximum threads (including the calling thread) any one operator may
+  // use. <= 0 means hardware concurrency.
+  int num_threads = 1;
+  // Rows per scan morsel. The split of an input into morsels depends only
+  // on this value — never on num_threads — so per-morsel partial results
+  // merged in morsel order give the same answer at every thread count.
+  int64_t morsel_rows = 64 * 1024;
+};
+
+// Ambient options consulted by the operator library. Set them once before
+// running queries (they are process-global, like the MonetDB nthreads
+// setting they stand in for); not thread-safe against concurrent queries.
+const ExecOptions& CurrentExecOptions();
+void SetExecOptions(const ExecOptions& opts);
+
+// RAII setter used by the engine executor, tests and benches.
+class ScopedExecOptions {
+ public:
+  explicit ScopedExecOptions(const ExecOptions& opts);
+  ~ScopedExecOptions();
+
+  ScopedExecOptions(const ScopedExecOptions&) = delete;
+  ScopedExecOptions& operator=(const ScopedExecOptions&) = delete;
+
+ private:
+  ExecOptions prev_;
+};
+
+// Threads an operator over `rows` input rows should use under the current
+// options: 1 (take the sequential path) unless parallelism is enabled, the
+// input spans at least two morsels, and we are not already inside a pool
+// worker (operators invoked from a parallel phase stay sequential instead
+// of re-entering the scheduler).
+int PlannedThreads(int64_t rows);
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_EXEC_OPTIONS_H_

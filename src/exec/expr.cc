@@ -2,12 +2,29 @@
 
 #include "common/date.h"
 #include "common/logging.h"
+#include "exec/morsel_exec.h"
 
 namespace wimpi::exec {
 namespace {
 
 using storage::Column;
 using storage::DataType;
+
+// Fills out[i] = f(i) for i in [0, n), morsel-parallel when the ambient
+// options allow it. Element-wise maps have no cross-row state, so the
+// parallel result is bit-identical to the sequential loop.
+template <typename T, typename F>
+void FillRows(std::vector<T>& out_vec, int64_t n, F f) {
+  const int threads = PlannedThreads(n);
+  T* out = out_vec.data();
+  if (threads <= 1) {
+    for (int64_t i = 0; i < n; ++i) out[i] = f(i);
+    return;
+  }
+  RunMorsels(n, threads, [&](const parallel::Morsel& m) {
+    for (int64_t i = m.begin; i < m.end; ++i) out[i] = f(i);
+  });
+}
 
 void RecordUnary(const char* name, int64_t n, int in_width, int out_width,
                  QueryStats* stats) {
@@ -42,7 +59,7 @@ std::unique_ptr<Column> BinaryOp(const char* name, const Column& a,
   v.resize(n);
   const double* pa = a.F64Data();
   const double* pb = b.F64Data();
-  for (int64_t i = 0; i < n; ++i) v[i] = f(pa[i], pb[i]);
+  FillRows(v, n, [&](int64_t i) { return f(pa[i], pb[i]); });
   RecordBinary(name, n, stats);
   return out;
 }
@@ -55,7 +72,7 @@ std::unique_ptr<Column> UnaryF64Op(const char* name, const Column& a,
   auto& v = out->MutableF64();
   v.resize(n);
   const double* pa = a.F64Data();
-  for (int64_t i = 0; i < n; ++i) v[i] = f(pa[i]);
+  FillRows(v, n, [&](int64_t i) { return f(pa[i]); });
   RecordUnary(name, n, 8, 8, stats);
   return out;
 }
@@ -104,7 +121,7 @@ std::unique_ptr<Column> ExtractYear(const Column& dates, QueryStats* stats) {
   auto& v = out->MutableI32();
   v.resize(n);
   const int32_t* d = dates.I32Data();
-  for (int64_t i = 0; i < n; ++i) v[i] = DateYear(d[i]);
+  FillRows(v, n, [&](int64_t i) { return DateYear(d[i]); });
   if (stats != nullptr) {
     OpStats op;
     op.op = "extract_year";
@@ -131,7 +148,7 @@ std::vector<uint8_t> StrMatchMask(
   const int64_t n = col.size();
   std::vector<uint8_t> mask(n);
   const int32_t* codes = col.I32Data();
-  for (int64_t i = 0; i < n; ++i) mask[i] = code_match[codes[i]];
+  FillRows(mask, n, [&](int64_t i) { return code_match[codes[i]]; });
   if (stats != nullptr) {
     OpStats op;
     op.op = "str_match_mask";
@@ -149,7 +166,8 @@ std::vector<uint8_t> I32EqMask(const Column& col, int32_t value,
   const int64_t n = col.size();
   std::vector<uint8_t> mask(n);
   const int32_t* d = col.I32Data();
-  for (int64_t i = 0; i < n; ++i) mask[i] = d[i] == value ? 1 : 0;
+  FillRows(mask, n,
+           [&](int64_t i) -> uint8_t { return d[i] == value ? 1 : 0; });
   if (stats != nullptr) {
     OpStats op;
     op.op = "i32_eq_mask";
@@ -170,7 +188,7 @@ std::unique_ptr<Column> MaskedF64(const Column& a,
   auto& v = out->MutableF64();
   v.resize(n);
   const double* pa = a.F64Data();
-  for (int64_t i = 0; i < n; ++i) v[i] = mask[i] != 0 ? pa[i] : 0.0;
+  FillRows(v, n, [&](int64_t i) { return mask[i] != 0 ? pa[i] : 0.0; });
   RecordBinary("masked_f64", n, stats);
   return out;
 }
@@ -189,17 +207,17 @@ std::unique_ptr<Column> CastF64(const Column& a, QueryStats* stats) {
   switch (a.type()) {
     case DataType::kInt64: {
       const int64_t* d = a.I64Data();
-      for (int64_t i = 0; i < n; ++i) v[i] = static_cast<double>(d[i]);
+      FillRows(v, n, [&](int64_t i) { return static_cast<double>(d[i]); });
       break;
     }
     case DataType::kFloat64: {
       const double* d = a.F64Data();
-      for (int64_t i = 0; i < n; ++i) v[i] = d[i];
+      FillRows(v, n, [&](int64_t i) { return d[i]; });
       break;
     }
     default: {
       const int32_t* d = a.I32Data();
-      for (int64_t i = 0; i < n; ++i) v[i] = static_cast<double>(d[i]);
+      FillRows(v, n, [&](int64_t i) { return static_cast<double>(d[i]); });
       break;
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "exec/morsel_exec.h"
 
 namespace wimpi::exec {
 
@@ -170,16 +171,44 @@ class FilterRunner {
     op.seq_bytes = touched;
     op.compute_ops = static_cast<double>(n) * cost::kCompare;
 
+    // Sequential when PlannedThreads says so; otherwise morsel-parallel with
+    // per-morsel partial selections concatenated in morsel order (the morsel
+    // split ignores the thread count, so the output is the same SelVec the
+    // sequential loop produces).
+    const int threads = PlannedThreads(n);
     auto for_each = [&](auto&& test) {
-      if (candidates != nullptr) {
-        for (const int32_t row : *candidates) {
-          if (test(row)) out->push_back(row);
+      if (threads <= 1) {
+        if (candidates != nullptr) {
+          for (const int32_t row : *candidates) {
+            if (test(row)) out->push_back(row);
+          }
+        } else {
+          const int64_t rows = src.rows();
+          for (int64_t row = 0; row < rows; ++row) {
+            if (test(row)) out->push_back(static_cast<int32_t>(row));
+          }
         }
-      } else {
-        const int64_t rows = src.rows();
-        for (int64_t row = 0; row < rows; ++row) {
-          if (test(row)) out->push_back(static_cast<int32_t>(row));
+        return;
+      }
+      std::vector<SelVec> parts(NumMorsels(n));
+      RunMorsels(n, threads, [&](const parallel::Morsel& m) {
+        SelVec& local = parts[m.index];
+        if (candidates != nullptr) {
+          for (int64_t k = m.begin; k < m.end; ++k) {
+            const int32_t row = (*candidates)[k];
+            if (test(row)) local.push_back(row);
+          }
+        } else {
+          for (int64_t row = m.begin; row < m.end; ++row) {
+            if (test(row)) local.push_back(static_cast<int32_t>(row));
+          }
         }
+      });
+      size_t total = out->size();
+      for (const SelVec& part : parts) total += part.size();
+      out->reserve(total);
+      for (const SelVec& part : parts) {
+        out->insert(out->end(), part.begin(), part.end());
       }
     };
 
@@ -297,17 +326,33 @@ SelVec FilterColCmpCol(const ColumnSource& src, const std::string& a,
   const int64_t n = base != nullptr ? static_cast<int64_t>(base->size())
                                     : src.rows();
   out.reserve(n / 2);
+  const int threads = PlannedThreads(n);
   auto run = [&](auto&& test) {
-    if (base != nullptr) {
-      for (const int32_t r : *base) {
-        if (test(r)) out.push_back(r);
-      }
-    } else {
-      for (int64_t r = 0; r < n; ++r) {
-        if (test(static_cast<int32_t>(r))) {
-          out.push_back(static_cast<int32_t>(r));
+    if (threads <= 1) {
+      if (base != nullptr) {
+        for (const int32_t r : *base) {
+          if (test(r)) out.push_back(r);
+        }
+      } else {
+        for (int64_t r = 0; r < n; ++r) {
+          if (test(static_cast<int32_t>(r))) {
+            out.push_back(static_cast<int32_t>(r));
+          }
         }
       }
+      return;
+    }
+    std::vector<SelVec> parts(NumMorsels(n));
+    RunMorsels(n, threads, [&](const parallel::Morsel& m) {
+      SelVec& local = parts[m.index];
+      for (int64_t k = m.begin; k < m.end; ++k) {
+        const int32_t r =
+            base != nullptr ? (*base)[k] : static_cast<int32_t>(k);
+        if (test(r)) local.push_back(r);
+      }
+    });
+    for (const SelVec& part : parts) {
+      out.insert(out.end(), part.begin(), part.end());
     }
   };
   switch (ca.type()) {
@@ -370,25 +415,29 @@ std::unique_ptr<storage::Column> Gather(const storage::Column& src,
                  : std::make_unique<storage::Column>(src.type());
   const int64_t n = static_cast<int64_t>(sel.size());
   out->Reserve(n);
+  const int threads = PlannedThreads(n);
+  // The parallel path pre-sizes the output and writes disjoint morsel
+  // ranges, which yields the exact rows the sequential push_back loop does.
+  auto fill = [&](auto* d, auto& v) {
+    if (threads <= 1) {
+      for (const int32_t r : sel) v.push_back(d[r]);
+      return;
+    }
+    v.resize(n);
+    RunMorsels(n, threads, [&](const parallel::Morsel& m) {
+      for (int64_t k = m.begin; k < m.end; ++k) v[k] = d[sel[k]];
+    });
+  };
   switch (src.type()) {
-    case storage::DataType::kInt64: {
-      const int64_t* d = src.I64Data();
-      auto& v = out->MutableI64();
-      for (const int32_t r : sel) v.push_back(d[r]);
+    case storage::DataType::kInt64:
+      fill(src.I64Data(), out->MutableI64());
       break;
-    }
-    case storage::DataType::kFloat64: {
-      const double* d = src.F64Data();
-      auto& v = out->MutableF64();
-      for (const int32_t r : sel) v.push_back(d[r]);
+    case storage::DataType::kFloat64:
+      fill(src.F64Data(), out->MutableF64());
       break;
-    }
-    default: {
-      const int32_t* d = src.I32Data();
-      auto& v = out->MutableI32();
-      for (const int32_t r : sel) v.push_back(d[r]);
+    default:
+      fill(src.I32Data(), out->MutableI32());
       break;
-    }
   }
   if (stats != nullptr) {
     const int width = storage::TypeWidth(src.type());
@@ -441,29 +490,32 @@ std::unique_ptr<storage::Column> GatherWithDefault(
   auto out = std::make_unique<storage::Column>(src.type());
   const int64_t n = static_cast<int64_t>(idx.size());
   out->Reserve(n);
+  const int threads = PlannedThreads(n);
+  auto fill = [&](auto* d, auto& v) {
+    using T = std::decay_t<decltype(v[0])>;
+    const T dv = static_cast<T>(def);
+    if (threads <= 1) {
+      for (const int32_t r : idx) v.push_back(r < 0 ? dv : d[r]);
+      return;
+    }
+    v.resize(n);
+    RunMorsels(n, threads, [&](const parallel::Morsel& m) {
+      for (int64_t k = m.begin; k < m.end; ++k) {
+        const int32_t r = idx[k];
+        v[k] = r < 0 ? dv : d[r];
+      }
+    });
+  };
   switch (src.type()) {
-    case storage::DataType::kInt64: {
-      const int64_t* d = src.I64Data();
-      auto& v = out->MutableI64();
-      for (const int32_t r : idx) {
-        v.push_back(r < 0 ? static_cast<int64_t>(def) : d[r]);
-      }
+    case storage::DataType::kInt64:
+      fill(src.I64Data(), out->MutableI64());
       break;
-    }
-    case storage::DataType::kFloat64: {
-      const double* d = src.F64Data();
-      auto& v = out->MutableF64();
-      for (const int32_t r : idx) v.push_back(r < 0 ? def : d[r]);
+    case storage::DataType::kFloat64:
+      fill(src.F64Data(), out->MutableF64());
       break;
-    }
-    default: {
-      const int32_t* d = src.I32Data();
-      auto& v = out->MutableI32();
-      for (const int32_t r : idx) {
-        v.push_back(r < 0 ? static_cast<int32_t>(def) : d[r]);
-      }
+    default:
+      fill(src.I32Data(), out->MutableI32());
       break;
-    }
   }
   if (stats != nullptr) {
     const int width = storage::TypeWidth(src.type());

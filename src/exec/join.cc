@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/morsel_exec.h"
 
 namespace wimpi::exec {
 namespace {
@@ -83,10 +84,39 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
   std::vector<int32_t> head(n_buckets, -1);
   std::vector<int32_t> next(n_build, -1);
 
-  for (int64_t i = 0; i < n_build; ++i) {
-    const uint64_t b = RowHash(build_keys, i) & mask;
-    next[i] = head[b];
-    head[b] = static_cast<int32_t>(i);
+  const int build_threads = PlannedThreads(n_build);
+  if (build_threads <= 1) {
+    for (int64_t i = 0; i < n_build; ++i) {
+      const uint64_t b = RowHash(build_keys, i) & mask;
+      next[i] = head[b];
+      head[b] = static_cast<int32_t>(i);
+    }
+  } else {
+    // Two-phase parallel build. Phase 1 precomputes the row hashes (pure
+    // element-wise map). Phase 2 partitions the *bucket* range: each task
+    // scans every row in order but links only the rows that land in its own
+    // buckets, so no two tasks touch the same chain and every chain ends up
+    // in the exact LIFO order the sequential insert produces.
+    std::vector<uint64_t> hashes(n_build);
+    RunMorsels(n_build, build_threads, [&](const parallel::Morsel& m) {
+      for (int64_t i = m.begin; i < m.end; ++i) {
+        hashes[i] = RowHash(build_keys, i) & mask;
+      }
+    });
+    const int64_t buckets = static_cast<int64_t>(n_buckets);
+    const int64_t per_task =
+        (buckets + build_threads - 1) / build_threads;
+    RunChunks(buckets, per_task, build_threads,
+              [&](const parallel::Morsel& m) {
+                const uint64_t lo = static_cast<uint64_t>(m.begin);
+                const uint64_t hi = static_cast<uint64_t>(m.end);
+                for (int64_t i = 0; i < n_build; ++i) {
+                  const uint64_t b = hashes[i];
+                  if (b < lo || b >= hi) continue;
+                  next[i] = head[b];
+                  head[b] = static_cast<int32_t>(i);
+                }
+              });
   }
 
   JoinResult result;
@@ -94,30 +124,68 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
   const bool want_pairs =
       kind == JoinKind::kInner || kind == JoinKind::kLeftOuter;
 
-  for (int64_t p = 0; p < n_probe; ++p) {
-    const uint64_t b = RowHash(probe_keys, p) & mask;
-    bool matched = false;
-    for (int32_t e = head[b]; e >= 0; e = next[e]) {
-      ++chain_steps;
-      if (!RowEq(build_keys, e, probe_keys, p)) continue;
-      matched = true;
-      if (want_pairs) {
-        result.build_idx.push_back(e);
-        result.probe_idx.push_back(static_cast<int32_t>(p));
-      } else if (kind == JoinKind::kSemi) {
-        result.probe_idx.push_back(static_cast<int32_t>(p));
-        break;
-      } else {  // kAnti: keep walking to be sure, but we can stop early
-        break;
+  // The finished table is read-only from here on: probe morsels share it
+  // and emit per-morsel pair lists that concatenate in morsel order.
+  auto probe_range = [&](int64_t begin, int64_t end,
+                         std::vector<int32_t>* build_out,
+                         std::vector<int32_t>* probe_out, double* steps) {
+    for (int64_t p = begin; p < end; ++p) {
+      const uint64_t b = RowHash(probe_keys, p) & mask;
+      bool matched = false;
+      for (int32_t e = head[b]; e >= 0; e = next[e]) {
+        ++*steps;
+        if (!RowEq(build_keys, e, probe_keys, p)) continue;
+        matched = true;
+        if (want_pairs) {
+          build_out->push_back(e);
+          probe_out->push_back(static_cast<int32_t>(p));
+        } else if (kind == JoinKind::kSemi) {
+          probe_out->push_back(static_cast<int32_t>(p));
+          break;
+        } else {  // kAnti: keep walking to be sure, but we can stop early
+          break;
+        }
+      }
+      if (!matched) {
+        if (kind == JoinKind::kAnti) {
+          probe_out->push_back(static_cast<int32_t>(p));
+        } else if (kind == JoinKind::kLeftOuter) {
+          build_out->push_back(-1);
+          probe_out->push_back(static_cast<int32_t>(p));
+        }
       }
     }
-    if (!matched) {
-      if (kind == JoinKind::kAnti) {
-        result.probe_idx.push_back(static_cast<int32_t>(p));
-      } else if (kind == JoinKind::kLeftOuter) {
-        result.build_idx.push_back(-1);
-        result.probe_idx.push_back(static_cast<int32_t>(p));
-      }
+  };
+
+  const int probe_threads = PlannedThreads(n_probe);
+  if (probe_threads <= 1) {
+    probe_range(0, n_probe, &result.build_idx, &result.probe_idx,
+                &chain_steps);
+  } else {
+    struct ProbePart {
+      std::vector<int32_t> build_idx;
+      std::vector<int32_t> probe_idx;
+      double chain_steps = 0;
+    };
+    std::vector<ProbePart> parts(NumMorsels(n_probe));
+    RunMorsels(n_probe, probe_threads, [&](const parallel::Morsel& m) {
+      ProbePart& part = parts[m.index];
+      probe_range(m.begin, m.end, &part.build_idx, &part.probe_idx,
+                  &part.chain_steps);
+    });
+    size_t total_b = 0, total_p = 0;
+    for (const ProbePart& part : parts) {
+      total_b += part.build_idx.size();
+      total_p += part.probe_idx.size();
+    }
+    result.build_idx.reserve(total_b);
+    result.probe_idx.reserve(total_p);
+    for (const ProbePart& part : parts) {
+      result.build_idx.insert(result.build_idx.end(), part.build_idx.begin(),
+                              part.build_idx.end());
+      result.probe_idx.insert(result.probe_idx.end(), part.probe_idx.begin(),
+                              part.probe_idx.end());
+      chain_steps += part.chain_steps;
     }
   }
 

@@ -1,0 +1,45 @@
+#ifndef WIMPI_EXEC_MORSEL_EXEC_H_
+#define WIMPI_EXEC_MORSEL_EXEC_H_
+
+// Internal glue between the operator library and wimpi::parallel: morsel
+// loops under the ambient ExecOptions. Operators call PlannedThreads()
+// first and only come here when it returns > 1, so the sequential paths
+// never touch the scheduler (and num_threads=1 stays bit-identical to the
+// single-threaded engine).
+
+#include <cstdint>
+#include <functional>
+
+#include "exec/exec_options.h"
+#include "parallel/task_scheduler.h"
+
+namespace wimpi::exec {
+
+// Morsel count of an n-row input under the current options (the slot count
+// for per-morsel partial results; independent of thread count).
+inline int NumMorsels(int64_t rows) {
+  const int64_t per = CurrentExecOptions().morsel_rows;
+  return static_cast<int>((rows + per - 1) / per);
+}
+
+// Runs body over every morsel of [0, rows) on up to `threads` threads
+// (including the caller). Partial results indexed by morsel.index and
+// merged in index order are deterministic at any thread count.
+inline void RunMorsels(int64_t rows, int threads,
+                       const std::function<void(const parallel::Morsel&)>& body) {
+  parallel::TaskScheduler::Global().RunMorsels(
+      rows, CurrentExecOptions().morsel_rows, threads, body);
+}
+
+// Same, but with an explicit chunk size — used when the partial-result
+// granularity must be "one chunk per thread" (e.g. thread-local aggregation
+// tables) rather than one per morsel.
+inline void RunChunks(int64_t rows, int64_t chunk_rows, int threads,
+                      const std::function<void(const parallel::Morsel&)>& body) {
+  parallel::TaskScheduler::Global().RunMorsels(rows, chunk_rows, threads,
+                                               body);
+}
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_MORSEL_EXEC_H_

@@ -1,0 +1,59 @@
+#include "exec/relation_ops.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "storage/column.h"
+
+namespace wimpi::exec {
+
+Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats) {
+  WIMPI_CHECK(!parts.empty());
+  Relation out;
+  const Relation& first = parts[0];
+  double bytes = 0;
+  for (int c = 0; c < first.num_columns(); ++c) {
+    const auto& proto = first.column(c);
+    auto col = proto.dict() != nullptr
+                   ? std::make_unique<storage::Column>(proto.type(),
+                                                       proto.dict())
+                   : std::make_unique<storage::Column>(proto.type());
+    for (const Relation& part : parts) {
+      const auto& src = part.column(c);
+      WIMPI_CHECK(src.type() == proto.type());
+      WIMPI_CHECK(src.dict() == proto.dict())
+          << "concat requires shared dictionaries";
+      const int64_t n = src.size();
+      switch (src.type()) {
+        case storage::DataType::kInt64:
+          col->MutableI64().insert(col->MutableI64().end(), src.I64Data(),
+                                   src.I64Data() + n);
+          break;
+        case storage::DataType::kFloat64:
+          col->MutableF64().insert(col->MutableF64().end(), src.F64Data(),
+                                   src.F64Data() + n);
+          break;
+        default:
+          col->MutableI32().insert(col->MutableI32().end(), src.I32Data(),
+                                   src.I32Data() + n);
+          break;
+      }
+      bytes += static_cast<double>(n) * storage::TypeWidth(src.type());
+    }
+    out.AddColumn(first.name(c), std::move(col));
+  }
+  if (stats != nullptr) {
+    OpStats op;
+    op.op = "concat_partials";
+    op.seq_bytes = 2 * bytes;
+    op.output_bytes = bytes;
+    op.compute_ops = bytes / 8;
+    op.parallel_fraction = 0.0;  // coordinator-side, single stream
+    stats->Add(std::move(op));
+    stats->TrackAlloc(bytes);
+  }
+  return out;
+}
+
+}  // namespace wimpi::exec

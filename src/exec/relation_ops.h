@@ -1,0 +1,18 @@
+#ifndef WIMPI_EXEC_RELATION_OPS_H_
+#define WIMPI_EXEC_RELATION_OPS_H_
+
+#include <vector>
+
+#include "exec/counters.h"
+#include "exec/relation.h"
+
+namespace wimpi::exec {
+
+// Concatenates relations with identical schemas (string columns must share
+// dictionaries). Used by the cluster coordinator to merge node partials and
+// by the parallel aggregation path to merge thread-local partial tables.
+Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats);
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_RELATION_OPS_H_

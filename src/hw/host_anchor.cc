@@ -1,0 +1,45 @@
+#include "hw/host_anchor.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace wimpi::hw {
+
+HardwareProfile HostProfile() {
+  HardwareProfile p;
+  p.name = "host";
+  p.category = "Host";
+  p.cpu = "build host";
+  const int hc =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  p.cores = hc;
+  p.threads = hc;
+  return p;
+}
+
+std::vector<ScalingPoint> AnchorScaling(
+    const CostModel& model, const HardwareProfile& host,
+    const std::vector<int>& thread_counts,
+    const std::function<double(int)>& measure_seconds) {
+  std::vector<ScalingPoint> points;
+  points.reserve(thread_counts.size());
+  double base_seconds = 0;
+  double base_scale = 1;
+  for (const int t : thread_counts) {
+    ScalingPoint pt;
+    pt.threads = t;
+    pt.measured_seconds = measure_seconds(t);
+    if (points.empty()) {
+      base_seconds = pt.measured_seconds;
+      base_scale = model.ComputeScale(host, t);
+    }
+    pt.measured_speedup = pt.measured_seconds > 0
+                              ? base_seconds / pt.measured_seconds
+                              : 0;
+    pt.modeled_speedup = model.ComputeScale(host, t) / base_scale;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace wimpi::hw

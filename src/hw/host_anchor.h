@@ -1,0 +1,44 @@
+#ifndef WIMPI_HW_HOST_ANCHOR_H_
+#define WIMPI_HW_HOST_ANCHOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+
+namespace wimpi::hw {
+
+// Model-vs-measured hook: the cost model's multicore scaling law is
+// calibrated against the paper's published tables, but the engine can now
+// actually run on N threads — these helpers compare the modeled speedup
+// curve against speedups measured on the build host, giving the benches a
+// grounded all-core anchor instead of a purely synthetic one.
+
+// Pseudo-profile for the build host. Only the thread topology is known
+// portably (hardware_concurrency; physical cores assumed equal), which is
+// all ComputeScale consumes — the other fields keep their defaults and
+// must not be used for absolute-time predictions.
+HardwareProfile HostProfile();
+
+// One thread-count sample of a measured-vs-modeled scaling curve.
+struct ScalingPoint {
+  int threads = 1;
+  double measured_seconds = 0;
+  double measured_speedup = 1;  // seconds(1 thread) / seconds(threads)
+  double modeled_speedup = 1;   // CostModel::ComputeScale(host, threads)
+};
+
+// Runs `measure_seconds` (wall seconds of some fixed workload at a given
+// thread count) at each entry of `thread_counts` and pairs the measured
+// speedups with the cost model's prediction for `host`. The first entry
+// should be 1 — it is the baseline; if absent, the smallest measured
+// thread count is used as the baseline instead.
+std::vector<ScalingPoint> AnchorScaling(
+    const CostModel& model, const HardwareProfile& host,
+    const std::vector<int>& thread_counts,
+    const std::function<double(int)>& measure_seconds);
+
+}  // namespace wimpi::hw
+
+#endif  // WIMPI_HW_HOST_ANCHOR_H_

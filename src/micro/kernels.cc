@@ -1,9 +1,13 @@
 #include "micro/kernels.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
+
+#include "parallel/thread_pool.h"
 
 namespace wimpi::micro {
 namespace {
@@ -20,9 +24,16 @@ void DoNotOptimize(T const& value) {
   asm volatile("" : : "r,m"(value) : "memory");
 }
 
-}  // namespace
+int ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
 
-double RunWhetstone(int64_t loops) {
+// Untimed kernel bodies, shared by the single-core entry points (which
+// time one call) and the all-core entry points (which time `threads`
+// concurrent calls).
+
+void WhetstoneBody(int64_t loops) {
   // The classic Whetstone modules: transcendental-heavy floating point
   // with array and conditional modules, scaled so one loop ~ 1 million
   // Whetstone instructions (the unit the figure reports).
@@ -30,7 +41,6 @@ double RunWhetstone(int64_t loops) {
   const double t = 0.499975, t1 = 0.50025, t2 = 2.0;
   double x = 1.0, y = 1.0, z = 1.0;
 
-  const double start = NowSeconds();
   for (int64_t l = 0; l < loops; ++l) {
     // Module 1: simple identifiers.
     for (int i = 0; i < 120; ++i) {
@@ -70,11 +80,9 @@ double RunWhetstone(int64_t loops) {
     x = 0.75;
     y = 0.75;
   }
-  const double elapsed = NowSeconds() - start;
-  return elapsed > 0 ? static_cast<double>(loops) / elapsed : 0;
 }
 
-double RunDhrystone(int64_t loops) {
+void DhrystoneBody(int64_t loops) {
   // Dhrystone-style mix: struct assignment, string compare/copy, integer
   // arithmetic and branching. One loop ~ 1757 Dhrystones per the
   // traditional normalization (we report DMIPS = dhry/s / 1757).
@@ -88,7 +96,6 @@ double RunDhrystone(int64_t loops) {
   char buf[31];
   int int1 = 1, int2 = 2, int3 = 3;
 
-  const double start = NowSeconds();
   for (int64_t l = 0; l < loops * 1000; ++l) {
     int1 = int2 * int3 - (int1 % 7);
     int2 = int3 * 3 - int1;
@@ -104,14 +111,9 @@ double RunDhrystone(int64_t loops) {
     DoNotOptimize(r1);
     DoNotOptimize(int3);
   }
-  const double elapsed = NowSeconds() - start;
-  const double dhry_per_s =
-      elapsed > 0 ? static_cast<double>(loops) * 1000.0 / elapsed : 0;
-  return dhry_per_s / 1757.0;
 }
 
-double RunSysbenchPrime(int32_t max_prime, int events) {
-  const double start = NowSeconds();
+void SysbenchPrimeBody(int32_t max_prime, int events) {
   int64_t found = 0;
   for (int e = 0; e < events; ++e) {
     for (int32_t c = 3; c <= max_prime; ++c) {
@@ -126,14 +128,11 @@ double RunSysbenchPrime(int32_t max_prime, int events) {
     }
   }
   DoNotOptimize(found);
-  return NowSeconds() - start;
 }
 
-double RunMemoryBandwidth(size_t buffer_bytes, int passes) {
-  const size_t n = buffer_bytes / sizeof(uint64_t);
-  std::vector<uint64_t> buf(n, 1);
+void MemoryScanBody(const std::vector<uint64_t>& buf, int passes) {
+  const size_t n = buf.size();
   uint64_t sink = 0;
-  const double start = NowSeconds();
   for (int p = 0; p < passes; ++p) {
     const uint64_t* d = buf.data();
     uint64_t acc = 0;
@@ -144,9 +143,94 @@ double RunMemoryBandwidth(size_t buffer_bytes, int passes) {
     sink ^= acc;
   }
   DoNotOptimize(sink);
+}
+
+}  // namespace
+
+double RunWhetstone(int64_t loops) {
+  const double start = NowSeconds();
+  WhetstoneBody(loops);
+  const double elapsed = NowSeconds() - start;
+  return elapsed > 0 ? static_cast<double>(loops) / elapsed : 0;
+}
+
+double RunDhrystone(int64_t loops) {
+  const double start = NowSeconds();
+  DhrystoneBody(loops);
+  const double elapsed = NowSeconds() - start;
+  const double dhry_per_s =
+      elapsed > 0 ? static_cast<double>(loops) * 1000.0 / elapsed : 0;
+  return dhry_per_s / 1757.0;
+}
+
+double RunSysbenchPrime(int32_t max_prime, int events) {
+  const double start = NowSeconds();
+  SysbenchPrimeBody(max_prime, events);
+  return NowSeconds() - start;
+}
+
+double RunMemoryBandwidth(size_t buffer_bytes, int passes) {
+  const size_t n = buffer_bytes / sizeof(uint64_t);
+  std::vector<uint64_t> buf(n, 1);
+  const double start = NowSeconds();
+  MemoryScanBody(buf, passes);
   const double elapsed = NowSeconds() - start;
   const double bytes =
       static_cast<double>(n) * sizeof(uint64_t) * passes;
+  return elapsed > 0 ? bytes / elapsed / 1e9 : 0;
+}
+
+double RunWhetstoneAllCores(int64_t loops_per_thread, int threads) {
+  const int t = ResolveThreads(threads);
+  parallel::ThreadPool pool(t);
+  const double start = NowSeconds();
+  pool.ParallelFor(t, [&](int64_t) { WhetstoneBody(loops_per_thread); }, t);
+  const double elapsed = NowSeconds() - start;
+  const double total = static_cast<double>(loops_per_thread) * t;
+  return elapsed > 0 ? total / elapsed : 0;
+}
+
+double RunDhrystoneAllCores(int64_t loops_per_thread, int threads) {
+  const int t = ResolveThreads(threads);
+  parallel::ThreadPool pool(t);
+  const double start = NowSeconds();
+  pool.ParallelFor(t, [&](int64_t) { DhrystoneBody(loops_per_thread); }, t);
+  const double elapsed = NowSeconds() - start;
+  const double dhry_per_s =
+      elapsed > 0
+          ? static_cast<double>(loops_per_thread) * 1000.0 * t / elapsed
+          : 0;
+  return dhry_per_s / 1757.0;
+}
+
+double RunSysbenchPrimeAllCores(int32_t max_prime, int events, int threads) {
+  const int t = ResolveThreads(threads);
+  parallel::ThreadPool pool(t);
+  // sysbench semantics: a fixed event count drained by all threads.
+  const int base = events / t;
+  const int extra = events % t;
+  const double start = NowSeconds();
+  pool.ParallelFor(
+      t,
+      [&](int64_t i) {
+        SysbenchPrimeBody(max_prime, base + (i < extra ? 1 : 0));
+      },
+      t);
+  return NowSeconds() - start;
+}
+
+double RunMemoryBandwidthAllCores(size_t buffer_bytes_per_thread, int passes,
+                                  int threads) {
+  const int t = ResolveThreads(threads);
+  parallel::ThreadPool pool(t);
+  const size_t n = buffer_bytes_per_thread / sizeof(uint64_t);
+  std::vector<std::vector<uint64_t>> bufs(t);
+  for (auto& b : bufs) b.assign(n, 1);
+  const double start = NowSeconds();
+  pool.ParallelFor(t, [&](int64_t i) { MemoryScanBody(bufs[i], passes); }, t);
+  const double elapsed = NowSeconds() - start;
+  const double bytes =
+      static_cast<double>(n) * sizeof(uint64_t) * passes * t;
   return elapsed > 0 ? bytes / elapsed / 1e9 : 0;
 }
 

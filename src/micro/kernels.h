@@ -25,6 +25,28 @@ double RunSysbenchPrime(int32_t max_prime, int events);
 // `passes` times. Returns GB/s.
 double RunMemoryBandwidth(size_t buffer_bytes, int passes);
 
+// All-core variants (the figure's "all cores" bars): the same kernel
+// bodies run concurrently on `threads` pool threads (<= 0 means hardware
+// concurrency). These are the measured anchors for the near-linear
+// independent-kernel scaling law in MicrobenchModel — unlike query work,
+// no state is shared, so speedup is limited only by the hardware.
+
+// Each thread runs `loops_per_thread`; returns aggregate MWIPS.
+double RunWhetstoneAllCores(int64_t loops_per_thread, int threads = 0);
+
+// Each thread runs `loops_per_thread`; returns aggregate DMIPS.
+double RunDhrystoneAllCores(int64_t loops_per_thread, int threads = 0);
+
+// `events` total events split across threads (sysbench semantics);
+// returns wall seconds — compare against RunSysbenchPrime with the same
+// event count.
+double RunSysbenchPrimeAllCores(int32_t max_prime, int events,
+                                int threads = 0);
+
+// Each thread scans its own private buffer; returns aggregate GB/s.
+double RunMemoryBandwidthAllCores(size_t buffer_bytes_per_thread, int passes,
+                                  int threads = 0);
+
 }  // namespace wimpi::micro
 
 #endif  // WIMPI_MICRO_KERNELS_H_

@@ -1,0 +1,68 @@
+#ifndef WIMPI_PARALLEL_TASK_SCHEDULER_H_
+#define WIMPI_PARALLEL_TASK_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace wimpi::parallel {
+
+// Rows per morsel. 64K rows keeps a morsel's working set (a few hundred KB
+// for the widest operators) inside the LLC of every profile in Table I
+// while leaving enough morsels per scan for dynamic load balancing — the
+// HyPer/DuckDB sweet spot.
+inline constexpr int64_t kDefaultMorselRows = 64 * 1024;
+
+// One contiguous slice of a scan. `index` is the position of the morsel in
+// the deterministic split of [0, total): operators write per-morsel partial
+// results into slot `index` and merge slots in index order, so results and
+// counters do not depend on which worker ran which morsel.
+struct Morsel {
+  int index = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t rows() const { return end - begin; }
+};
+
+// Deterministic split of [0, total) into morsels of `morsel_rows` (last one
+// ragged). Independent of thread count.
+std::vector<Morsel> SplitMorsels(int64_t total, int64_t morsel_rows);
+
+// Schedules morsel loops and task graphs onto a ThreadPool. The engine uses
+// one process-wide instance (Global()) so repeated queries reuse the same
+// workers; tests may build private instances.
+class TaskScheduler {
+ public:
+  // `num_threads` <= 0 means hardware concurrency.
+  explicit TaskScheduler(int num_threads = 0) : pool_(num_threads) {}
+
+  // Process-wide scheduler backed by hardware_concurrency workers. Created
+  // on first use; engine knobs (exec::ExecOptions.num_threads) bound how
+  // many of its workers any one operator employs.
+  static TaskScheduler& Global();
+
+  ThreadPool& pool() { return pool_; }
+
+  // Runs body(morsel) for every morsel of [0, total) on up to `threads`
+  // threads (including the caller). Morsel boundaries depend only on
+  // `total` and `morsel_rows`, never on `threads`.
+  void RunMorsels(int64_t total, int64_t morsel_rows, int threads,
+                  const std::function<void(const Morsel&)>& body);
+
+  // Runs a pipeline expressed as a task graph: node i starts once every
+  // node in deps[i] has finished; independent nodes run concurrently.
+  // CHECK-fails on cycles (some node never becomes ready).
+  void RunTaskGraph(const std::vector<std::function<void()>>& nodes,
+                    const std::vector<std::vector<int>>& deps);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace wimpi::parallel
+
+#endif  // WIMPI_PARALLEL_TASK_SCHEDULER_H_

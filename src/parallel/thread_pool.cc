@@ -1,0 +1,137 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace wimpi::parallel {
+
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> result = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                             int max_workers) {
+  if (n <= 0) return;
+  // From inside a worker (or with a trivial range) run inline: a task that
+  // fans out must never wait on the pool it occupies.
+  if (n == 1 || OnWorkerThread()) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared claim/progress state for this loop. Kept on the heap so helper
+  // tasks stay valid even if they start after the caller has returned
+  // (impossible here — the caller waits — but cheap insurance against
+  // future refactors).
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    std::exception_ptr error;
+    bool abort = false;
+    int64_t done = 0;
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto drain = [state, &fn, n] {
+    for (;;) {
+      const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->abort) {
+          // Still count the claimed iteration so `done` reaches the number
+          // of claimed-and-finished items the caller waits for.
+          ++state->done;
+          state->done_cv.notify_one();
+          continue;
+        }
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        state->abort = true;
+      }
+      {
+        // Notify under the lock: the caller destroys the loop state as soon
+        // as the predicate holds, which it cannot observe before unlock.
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->done;
+        state->done_cv.notify_one();
+      }
+    }
+  };
+
+  int helpers = size();
+  if (max_workers > 0) helpers = std::min(helpers, max_workers - 1);
+  helpers = static_cast<int>(
+      std::min<int64_t>(helpers, n - 1));  // caller takes a share
+  for (int h = 0; h < helpers; ++h) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(drain);
+  }
+  if (helpers > 0) cv_.notify_all();
+
+  drain();  // caller participates
+
+  // All n iterations were claimed once `drain` returned on every thread;
+  // wait until each claimed iteration has finished executing.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->done >= n; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace wimpi::parallel

@@ -1,0 +1,63 @@
+#ifndef WIMPI_PARALLEL_THREAD_POOL_H_
+#define WIMPI_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wimpi::parallel {
+
+// A fixed set of worker threads draining a shared task queue (the classic
+// condvar-guarded deque; a morsel-driven scheduler on top of this gets the
+// load-balancing benefits of work stealing without per-thread deques,
+// because tasks are already small and uniform).
+//
+// Blocking rules that keep nested use deadlock-free:
+//  * Submit() never blocks (it only enqueues).
+//  * ParallelFor() called from a worker thread runs entirely inline on that
+//    thread instead of waiting on the pool, so a task that fans out again
+//    can never wait for a worker slot it is itself occupying.
+class ThreadPool {
+ public:
+  // `num_threads` <= 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn`; the future carries any exception it throws.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Runs fn(i) for every i in [0, n). The calling thread participates, up
+  // to `max_workers - 1` pool workers help (<= 0 means the whole pool).
+  // Iterations are claimed dynamically (morsel-driven); the first exception
+  // is rethrown on the caller after all claimed iterations finish, and
+  // unclaimed iterations are abandoned.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                   int max_workers = 0);
+
+  // True when the current thread is one of this process's pool workers
+  // (any pool). Operators use it to refuse nested re-parallelization.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wimpi::parallel
+
+#endif  // WIMPI_PARALLEL_THREAD_POOL_H_

@@ -103,5 +103,17 @@ int main(int argc, char** argv) {
       "Pi relative to op-e5: best on Q%d (%.2fx), worst on Q%d (%.2fx); "
       "paper: best Q11/Q16-class queries, worst Q1.\n",
       best_q, best, worst_q, worst);
+
+  // --- Machine-readable output (--json=path) ---
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) {
+    std::map<std::string, std::map<int, double>> rows;
+    for (const auto& p : wimpi::hw::AllProfiles()) {
+      for (int q = 1; q <= 22; ++q) {
+        rows[p.name][q] = runtimes.at(q).at(p.name);
+      }
+    }
+    WriteRuntimesJson(json_path, "table2_sf1", model_sf, rows);
+  }
   return 0;
 }

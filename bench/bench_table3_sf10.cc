@@ -118,5 +118,11 @@ int main(int argc, char** argv) {
                      wimpi::analysis::Median(paper_speedups))});
   }
   fig3.Print(std::cout);
+
+  // --- Machine-readable output (--json=path) ---
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) {
+    WriteRuntimesJson(json_path, "table3_sf10", model_sf, rows);
+  }
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 
+#include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -54,6 +56,42 @@ std::vector<int> AllQueryNumbers() {
   std::vector<int> qs;
   for (int q = 1; q <= 22; ++q) qs.push_back(q);
   return qs;
+}
+
+bool WriteRuntimesJson(
+    const std::string& path, const std::string& bench_name, double model_sf,
+    const std::map<std::string, std::map<int, double>>& rows) {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << obs::JsonEscape(bench_name)
+      << "\",\"model_sf\":" << model_sf << ",\"unit\":\"seconds\","
+      << "\"rows\":{";
+  bool first_row = true;
+  for (const auto& [name, by_query] : rows) {
+    if (!first_row) out << ",";
+    first_row = false;
+    out << "\"" << obs::JsonEscape(name) << "\":{";
+    bool first_q = true;
+    for (const auto& [q, seconds] : by_query) {
+      if (!first_q) out << ",";
+      first_q = false;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "\"%d\":%.6g", q, seconds);
+      out << buf;
+    }
+    out << "}";
+  }
+  out << "}}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string s = out.str();
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote runtimes JSON to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace wimpi::bench

@@ -27,6 +27,15 @@ std::map<int, std::map<std::string, double>> ModelRuntimes(
 // All 22 query numbers.
 std::vector<int> AllQueryNumbers();
 
+// Writes modeled runtimes as machine-readable JSON, one object per row
+// (hardware profile or cluster size) keyed by query number:
+//   {"bench":"table2_sf1","model_sf":1,"unit":"seconds",
+//    "rows":{"pi3b+":{"1":2.27,"2":0.31,...},...}}
+// Returns false (and logs to stderr) when the file cannot be written.
+bool WriteRuntimesJson(
+    const std::string& path, const std::string& bench_name, double model_sf,
+    const std::map<std::string, std::map<int, double>>& rows);
+
 }  // namespace wimpi::bench
 
 #endif  // WIMPI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// wimpi_profile: EXPLAIN ANALYZE for the wimpi engine. Runs TPC-H queries
+// with the operator profiler installed and prints, per query:
+//
+//   * the operator tree with measured wall time, rows in/out, parallel
+//     fan-out, and the abstract work counters (OpStats) side by side;
+//   * a cost-model residual report (measured vs modeled per-operator-class
+//     seconds, anchored to this host's total).
+//
+// Optionally dumps per-morsel/per-task spans as Chrome trace-event JSON
+// (chrome://tracing, ui.perfetto.dev) and the thread-pool latency metrics.
+//
+//   ./examples/wimpi_profile [--sf 0.1] [--q 1,6] [--threads 4]
+//                            [--trace trace.json] [--metrics]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "engine/executor.h"
+#include "hw/cost_model.h"
+#include "hw/host_anchor.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/residual.h"
+#include "obs/trace.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+std::vector<int> ParseQueries(const std::string& spec) {
+  std::vector<int> out;
+  int cur = -1;
+  for (const char c : spec) {
+    if (c >= '0' && c <= '9') {
+      cur = (cur < 0 ? 0 : cur * 10) + (c - '0');
+    } else if (cur >= 0) {
+      out.push_back(cur);
+      cur = -1;
+    }
+  }
+  if (cur >= 0) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  const double sf = cli.GetDouble("sf", 0.1);
+  const int threads = static_cast<int>(cli.GetInt("threads", 1));
+  const std::string trace_path = cli.GetString("trace", "");
+  const bool pool_metrics = cli.GetBool("metrics", false);
+  const bool residuals = cli.GetBool("residual", true);
+  const std::vector<int> queries = ParseQueries(cli.GetString("q", "1,6"));
+
+  wimpi::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  const wimpi::engine::Database db = wimpi::tpch::GenerateDatabase(gen);
+  std::printf("TPC-H SF %g (%lld lineitem rows), %d thread%s\n", sf,
+              static_cast<long long>(db.table("lineitem").num_rows()),
+              threads, threads == 1 ? "" : "s");
+
+  wimpi::engine::Executor ex;
+  ex.set_num_threads(threads);
+
+  wimpi::obs::ProfileOptions popts;
+  popts.trace = !trace_path.empty();
+  popts.pool_metrics = pool_metrics;
+
+  const wimpi::hw::CostModel model;
+  const wimpi::hw::HardwareProfile host = wimpi::hw::HostProfile();
+
+  for (const int q : queries) {
+    wimpi::exec::QueryStats stats;
+    wimpi::obs::QueryProfile profile;
+    const wimpi::exec::Relation result = ex.RunProfiled(
+        [&](wimpi::exec::QueryStats* s) {
+          return wimpi::tpch::RunQuery(q, db, s);
+        },
+        popts, &profile, &stats, "Q" + std::to_string(q));
+    std::printf("\n=== Q%d: %lld result row%s ===\n", q,
+                static_cast<long long>(result.num_rows()),
+                result.num_rows() == 1 ? "" : "s");
+    std::printf("%s", profile.FormatTree().c_str());
+    if (residuals) {
+      const wimpi::obs::ResidualReport report =
+          wimpi::obs::CostModelResiduals(profile, model, host, threads);
+      std::printf("%s", report.Format().c_str());
+    }
+  }
+
+  if (pool_metrics) {
+    std::printf("\n--- pool metrics ---\n%s",
+                wimpi::obs::MetricsRegistry::Global().FormatText().c_str());
+  }
+  if (!trace_path.empty()) {
+    if (wimpi::obs::TraceSink::Global().WriteFile(trace_path)) {
+      std::printf("\nWrote %zu trace events to %s\n",
+                  wimpi::obs::TraceSink::Global().size(), trace_path.c_str());
+    }
+  }
+  return 0;
+}

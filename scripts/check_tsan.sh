@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the parallel-execution tests under ThreadSanitizer and runs them.
-# Intended for CI: any data race in the thread pool, scheduler, or the
-# morsel-parallel operator paths fails the script.
+# Builds the parallel-execution and observability tests under
+# ThreadSanitizer and runs them. Intended for CI: any data race in the
+# thread pool, scheduler, the morsel-parallel operator paths, or the
+# profiling/metrics/trace instrumentation fails the script.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -13,7 +14,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DWIMPI_SANITIZE=thread
 
-cmake --build "${build_dir}" --target parallel_test parallel_queries_test -j
+cmake --build "${build_dir}" \
+  --target parallel_test parallel_queries_test obs_test obs_queries_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -23,5 +25,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # running the binary directly keeps the TSan pass quick while still covering
 # every query at every thread count.
 "${build_dir}/tests/parallel_queries_test"
+# Observability: profiling/trace/pool-metrics instrumentation races against
+# worker threads would surface here (profiled runs at every thread count).
+"${build_dir}/tests/obs_test"
+"${build_dir}/tests/obs_queries_test"
 
-echo "TSan parallel test pass: OK"
+echo "TSan parallel + obs test pass: OK"

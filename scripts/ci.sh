@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full CI pipeline: release build + complete ctest suite, then the
+# sanitizer passes (TSan over the parallel + observability tests, ASan over
+# everything). Each stage fails the script on the first error.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+#   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # plain build + tests only
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+echo "=== [1/3] build + tests ==="
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure
+
+if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "=== [2/3] ThreadSanitizer (parallel + obs) ==="
+  "${repo_root}/scripts/check_tsan.sh"
+
+  echo "=== [3/3] AddressSanitizer (full suite) ==="
+  "${repo_root}/scripts/check_asan.sh"
+else
+  echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="
+fi
+
+echo "CI pass: OK"

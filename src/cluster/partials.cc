@@ -2,6 +2,7 @@
 
 #include "common/date.h"
 #include "exec/relation_ops.h"
+#include "obs/profiler.h"
 #include "tpch/queries.h"
 #include "tpch/query_utils.h"
 
@@ -282,38 +283,52 @@ Relation PartialQ19(const Database& db, QueryStats* stats) {
 }  // namespace
 
 Relation RunPartial(int q, const Database& node_db, QueryStats* stats) {
-  switch (q) {
-    case 1: return PartialQ1(node_db, stats);
-    case 3: return PartialQ3(node_db, stats);
-    case 4: return PartialQ4(node_db, stats);
-    case 5: return PartialQ5(node_db, stats);
-    case 6: return PartialQ6(node_db, stats);
-    case 13: return tpch::RunQuery(13, node_db, stats);  // single node
-    case 14: return PartialQ14(node_db, stats);
-    case 19: return PartialQ19(node_db, stats);
-    default:
-      WIMPI_CHECK(false) << "Q" << q << " is not in the distributed subset";
-      return Relation();
-  }
+  obs::OpScope scope("RunPartial", 0);
+  Relation r = [&]() -> Relation {
+    switch (q) {
+      case 1: return PartialQ1(node_db, stats);
+      case 3: return PartialQ3(node_db, stats);
+      case 4: return PartialQ4(node_db, stats);
+      case 5: return PartialQ5(node_db, stats);
+      case 6: return PartialQ6(node_db, stats);
+      case 13: return tpch::RunQuery(13, node_db, stats);  // single node
+      case 14: return PartialQ14(node_db, stats);
+      case 19: return PartialQ19(node_db, stats);
+      default:
+        WIMPI_CHECK(false) << "Q" << q
+                           << " is not in the distributed subset";
+        return Relation();
+    }
+  }();
+  scope.set_rows_out(r.num_rows());
+  return r;
 }
 
 Relation MergePartials(int q, const Database& coord_db,
                        std::vector<Relation> partials, QueryStats* stats) {
-  switch (q) {
-    case 1: return MergeQ1(std::move(partials), stats);
-    case 3: return MergeQ3(std::move(partials), stats);
-    case 4: return MergeQ4(std::move(partials), stats);
-    case 5: return MergeQ5(coord_db, std::move(partials), stats);
-    case 6: return MergeScalarSum("revenue", std::move(partials), stats);
-    case 13:
-      WIMPI_CHECK_EQ(partials.size(), 1u);
-      return std::move(partials[0]);
-    case 14: return MergeQ14(std::move(partials), stats);
-    case 19: return MergeScalarSum("revenue", std::move(partials), stats);
-    default:
-      WIMPI_CHECK(false) << "Q" << q << " is not in the distributed subset";
-      return Relation();
-  }
+  int64_t rows_in = 0;
+  for (const Relation& p : partials) rows_in += p.num_rows();
+  obs::OpScope scope("MergePartials", rows_in);
+  Relation r = [&]() -> Relation {
+    switch (q) {
+      case 1: return MergeQ1(std::move(partials), stats);
+      case 3: return MergeQ3(std::move(partials), stats);
+      case 4: return MergeQ4(std::move(partials), stats);
+      case 5: return MergeQ5(coord_db, std::move(partials), stats);
+      case 6: return MergeScalarSum("revenue", std::move(partials), stats);
+      case 13:
+        WIMPI_CHECK_EQ(partials.size(), 1u);
+        return std::move(partials[0]);
+      case 14: return MergeQ14(std::move(partials), stats);
+      case 19: return MergeScalarSum("revenue", std::move(partials), stats);
+      default:
+        WIMPI_CHECK(false) << "Q" << q
+                           << " is not in the distributed subset";
+        return Relation();
+    }
+  }();
+  scope.set_rows_out(r.num_rows());
+  return r;
 }
 
 }  // namespace wimpi::cluster

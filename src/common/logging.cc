@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace wimpi {
 namespace {
@@ -45,7 +47,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= threshold() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // Assemble the full line first, then emit it as one write under a
+    // process-wide mutex: messages from concurrent threads interleave as
+    // whole lines, never character-by-character. (Leaked, never destroyed:
+    // logging must work during static destruction too.)
+    stream_ << "\n";
+    const std::string msg = stream_.str();
+    static std::mutex* mu = new std::mutex;
+    std::lock_guard<std::mutex> lock(*mu);
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();
@@ -53,12 +64,11 @@ LogMessage::~LogMessage() {
 }
 
 LogLevel LogMessage::threshold() {
-  int t = g_threshold.load(std::memory_order_relaxed);
-  if (t < 0) {
-    t = static_cast<int>(ThresholdFromEnv());
-    g_threshold.store(t, std::memory_order_relaxed);
-  }
-  return static_cast<LogLevel>(t);
+  // WIMPI_LOG_LEVEL is parsed exactly once (thread-safe magic static);
+  // set_threshold overrides it for the rest of the process.
+  static const int env_threshold = static_cast<int>(ThresholdFromEnv());
+  const int t = g_threshold.load(std::memory_order_relaxed);
+  return static_cast<LogLevel>(t < 0 ? env_threshold : t);
 }
 
 void LogMessage::set_threshold(LogLevel level) {

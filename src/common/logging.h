@@ -40,17 +40,29 @@ struct NullStream {
     return *this;
   }
 };
+
+// Turns a streamed LogMessage chain into a void expression so it can sit in
+// the else-branch of a ternary. `&` binds looser than `<<` (the whole chain
+// is one operand) but tighter than `?:`.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
 }  // namespace internal_logging
 
 #define WIMPI_LOG(level) \
   ::wimpi::LogMessage(::wimpi::LogLevel::k##level, __FILE__, __LINE__)
 
 // CHECK macros terminate the process on failure; they guard invariants that
-// indicate programmer error, not data-dependent conditions.
-#define WIMPI_CHECK(cond)                                            \
-  if (!(cond))                                                       \
-  ::wimpi::LogMessage(::wimpi::LogLevel::kFatal, __FILE__, __LINE__) \
-      << "Check failed: " #cond " "
+// indicate programmer error, not data-dependent conditions. The ternary
+// shape (instead of a bare `if`) keeps the macro a single expression, so
+//   if (a) WIMPI_CHECK(b); else foo();
+// attaches the else to the outer if rather than the macro's.
+#define WIMPI_CHECK(cond)                                             \
+  (cond) ? (void)0                                                    \
+         : ::wimpi::internal_logging::Voidify() &                     \
+               ::wimpi::LogMessage(::wimpi::LogLevel::kFatal,         \
+                                   __FILE__, __LINE__)                \
+                   << "Check failed: " #cond " "
 
 #define WIMPI_CHECK_OK(expr)                                           \
   do {                                                                 \

@@ -2,11 +2,13 @@
 #define WIMPI_ENGINE_EXECUTOR_H_
 
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "exec/counters.h"
 #include "exec/exec_options.h"
 #include "exec/relation.h"
+#include "obs/profiler.h"
 
 namespace wimpi::engine {
 
@@ -35,6 +37,22 @@ class Executor {
   template <typename Plan>
   auto Run(const Plan& plan, exec::QueryStats* stats = nullptr) const {
     exec::ScopedExecOptions scope(opts_);
+    return plan(stats);
+  }
+
+  // Like Run, but with profiling installed for the duration of the plan:
+  // `profile` receives the EXPLAIN ANALYZE-style operator tree (and, per
+  // `popts`, trace spans land in obs::TraceSink::Global() and pool metrics
+  // in obs::MetricsRegistry::Global()). The plan's results are identical to
+  // an unprofiled Run — instrumentation only reads clocks, it never alters
+  // execution.
+  template <typename Plan>
+  auto RunProfiled(const Plan& plan, const obs::ProfileOptions& popts,
+                   obs::QueryProfile* profile,
+                   exec::QueryStats* stats = nullptr,
+                   std::string label = "query") const {
+    exec::ScopedExecOptions scope(opts_);
+    obs::ScopedProfiling prof(popts, profile, std::move(label));
     return plan(stats);
   }
 

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "exec/morsel_exec.h"
 #include "exec/relation_ops.h"
+#include "obs/profiler.h"
 
 namespace wimpi::exec {
 namespace {
@@ -333,6 +334,7 @@ Relation HashAggregate(const ColumnSource& src,
                        const std::vector<std::string>& group_by,
                        const std::vector<AggSpec>& aggs, QueryStats* stats) {
   const int64_t n = src.rows();
+  obs::OpScope scope("HashAggregate", n);
 
   std::vector<const Column*> keys;
   keys.reserve(group_by.size());
@@ -430,11 +432,14 @@ Relation HashAggregate(const ColumnSource& src,
     stats->Add(std::move(op));
     stats->TrackAlloc(table_bytes);
   }
+  scope.set_rows_out(n_groups);
   return out;
 }
 
 double SumF64(const Column& col, QueryStats* stats) {
   const int64_t n = col.size();
+  obs::OpScope scope("sum_f64", n);
+  scope.set_rows_out(1);
   double sum = 0;
   const double* d = col.F64Data();
   const int threads = PlannedThreads(n);
@@ -467,6 +472,8 @@ double AvgF64(const Column& col, QueryStats* stats) {
 
 double MaxF64(const Column& col, QueryStats* stats) {
   const int64_t n = col.size();
+  obs::OpScope scope("max_f64", n);
+  scope.set_rows_out(1);
   double m = -std::numeric_limits<double>::infinity();
   const double* d = col.F64Data();
   const int threads = PlannedThreads(n);

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats_hook.h"
+
 namespace wimpi::exec {
 
 // Abstract work performed by one operator invocation. The engine executes
@@ -59,7 +61,13 @@ struct QueryStats {
     return t;
   }
 
-  void Add(OpStats s) { ops.push_back(std::move(s)); }
+  // When a query profiler is installed, the hook attributes the OpStats to
+  // the operator scope that is innermost right now; otherwise it is one
+  // relaxed atomic load.
+  void Add(OpStats s) {
+    if (obs::internal::StatsHookArmed()) obs::internal::OpStatsAdded(s);
+    ops.push_back(std::move(s));
+  }
 
   void TrackAlloc(double bytes) {
     live_intermediate_bytes += bytes;

@@ -3,6 +3,7 @@
 #include "common/date.h"
 #include "common/logging.h"
 #include "exec/morsel_exec.h"
+#include "obs/profiler.h"
 
 namespace wimpi::exec {
 namespace {
@@ -54,6 +55,8 @@ std::unique_ptr<Column> BinaryOp(const char* name, const Column& a,
                                  const Column& b, QueryStats* stats, F f) {
   WIMPI_CHECK_EQ(a.size(), b.size());
   const int64_t n = a.size();
+  obs::OpScope scope(name, n);
+  scope.set_rows_out(n);
   auto out = std::make_unique<Column>(DataType::kFloat64);
   auto& v = out->MutableF64();
   v.resize(n);
@@ -68,6 +71,8 @@ template <typename F>
 std::unique_ptr<Column> UnaryF64Op(const char* name, const Column& a,
                                    QueryStats* stats, F f) {
   const int64_t n = a.size();
+  obs::OpScope scope(name, n);
+  scope.set_rows_out(n);
   auto out = std::make_unique<Column>(DataType::kFloat64);
   auto& v = out->MutableF64();
   v.resize(n);
@@ -117,6 +122,8 @@ std::unique_ptr<Column> MulConstF64(const Column& a, double c,
 
 std::unique_ptr<Column> ExtractYear(const Column& dates, QueryStats* stats) {
   const int64_t n = dates.size();
+  obs::OpScope scope("extract_year", n);
+  scope.set_rows_out(n);
   auto out = std::make_unique<Column>(DataType::kInt32);
   auto& v = out->MutableI32();
   v.resize(n);
@@ -137,6 +144,8 @@ std::unique_ptr<Column> ExtractYear(const Column& dates, QueryStats* stats) {
 std::vector<uint8_t> StrMatchMask(
     const Column& col, const std::function<bool(std::string_view)>& test,
     double cost_per_value, QueryStats* stats) {
+  obs::OpScope scope("str_match_mask", col.size());
+  scope.set_rows_out(col.size());
   const auto& dict = *col.dict();
   std::vector<uint8_t> code_match(dict.size());
   double dict_bytes = 0;
@@ -164,6 +173,8 @@ std::vector<uint8_t> StrMatchMask(
 std::vector<uint8_t> I32EqMask(const Column& col, int32_t value,
                                QueryStats* stats) {
   const int64_t n = col.size();
+  obs::OpScope scope("i32_eq_mask", n);
+  scope.set_rows_out(n);
   std::vector<uint8_t> mask(n);
   const int32_t* d = col.I32Data();
   FillRows(mask, n,
@@ -201,6 +212,8 @@ std::unique_ptr<Column> DivF64(const Column& a, const Column& b,
 
 std::unique_ptr<Column> CastF64(const Column& a, QueryStats* stats) {
   const int64_t n = a.size();
+  obs::OpScope scope("cast_f64", n);
+  scope.set_rows_out(n);
   auto out = std::make_unique<Column>(DataType::kFloat64);
   auto& v = out->MutableF64();
   v.resize(n);

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "exec/morsel_exec.h"
+#include "obs/profiler.h"
 
 namespace wimpi::exec {
 
@@ -285,6 +286,9 @@ class FilterRunner {
 SelVec Filter(const ColumnSource& src, const std::vector<Predicate>& preds,
               QueryStats* stats, const SelVec* base) {
   WIMPI_CHECK(!preds.empty());
+  obs::OpScope scope("Filter",
+                     base != nullptr ? static_cast<int64_t>(base->size())
+                                     : src.rows());
   if (stats != nullptr && src.table() != nullptr) {
     for (const auto& p : preds) {
       const auto& col = src.column(p.column_name());
@@ -308,6 +312,7 @@ SelVec Filter(const ColumnSource& src, const std::vector<Predicate>& preds,
     current = std::move(next);
     input = &current;
   }
+  scope.set_rows_out(static_cast<int64_t>(current.size()));
   return current;
 }
 
@@ -325,6 +330,7 @@ SelVec FilterColCmpCol(const ColumnSource& src, const std::string& a,
   SelVec out;
   const int64_t n = base != nullptr ? static_cast<int64_t>(base->size())
                                     : src.rows();
+  obs::OpScope scope("FilterColCmpCol", n);
   out.reserve(n / 2);
   const int threads = PlannedThreads(n);
   auto run = [&](auto&& test) {
@@ -384,6 +390,7 @@ SelVec FilterColCmpCol(const ColumnSource& src, const std::string& a,
     op_stats.output_bytes = static_cast<double>(out.size()) * sizeof(int32_t);
     stats->Add(std::move(op_stats));
   }
+  scope.set_rows_out(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -391,6 +398,7 @@ SelVec UnionSel(const std::vector<const SelVec*>& sels, QueryStats* stats) {
   SelVec out;
   size_t total = 0;
   for (const SelVec* s : sels) total += s->size();
+  obs::OpScope scope("UnionSel", static_cast<int64_t>(total));
   out.reserve(total);
   for (const SelVec* s : sels) out.insert(out.end(), s->begin(), s->end());
   std::sort(out.begin(), out.end());
@@ -404,6 +412,7 @@ SelVec UnionSel(const std::vector<const SelVec*>& sels, QueryStats* stats) {
     op.output_bytes = static_cast<double>(out.size()) * sizeof(int32_t);
     stats->Add(std::move(op));
   }
+  scope.set_rows_out(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -414,6 +423,8 @@ std::unique_ptr<storage::Column> Gather(const storage::Column& src,
                  ? std::make_unique<storage::Column>(src.type(), src.dict())
                  : std::make_unique<storage::Column>(src.type());
   const int64_t n = static_cast<int64_t>(sel.size());
+  obs::OpScope scope("Gather", n);
+  scope.set_rows_out(n);
   out->Reserve(n);
   const int threads = PlannedThreads(n);
   // The parallel path pre-sizes the output and writes disjoint morsel
@@ -469,6 +480,8 @@ Relation GatherColumns(
     const std::vector<std::pair<std::string, std::string>>& cols,
     const SelVec& sel, QueryStats* stats) {
   Relation out;
+  obs::OpScope scope("GatherColumns", static_cast<int64_t>(sel.size()));
+  scope.set_rows_out(static_cast<int64_t>(sel.size()));
   for (const auto& [in_name, out_name] : cols) {
     if (stats != nullptr && src.table() != nullptr) {
       const auto& col = src.column(in_name);
@@ -489,6 +502,8 @@ std::unique_ptr<storage::Column> GatherWithDefault(
     QueryStats* stats) {
   auto out = std::make_unique<storage::Column>(src.type());
   const int64_t n = static_cast<int64_t>(idx.size());
+  obs::OpScope scope("GatherWithDefault", n);
+  scope.set_rows_out(n);
   out->Reserve(n);
   const int threads = PlannedThreads(n);
   auto fill = [&](auto* d, auto& v) {

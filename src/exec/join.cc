@@ -5,6 +5,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "exec/morsel_exec.h"
+#include "obs/profiler.h"
 
 namespace wimpi::exec {
 namespace {
@@ -76,6 +77,7 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
 
   const int64_t n_build = build_keys[0]->size();
   const int64_t n_probe = probe_keys[0]->size();
+  obs::OpScope join_scope("HashJoin", n_probe);
 
   // Bucket-chained table: head[bucket] -> entry index, next[] chains.
   const uint64_t n_buckets =
@@ -84,39 +86,59 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
   std::vector<int32_t> head(n_buckets, -1);
   std::vector<int32_t> next(n_build, -1);
 
-  const int build_threads = PlannedThreads(n_build);
-  if (build_threads <= 1) {
-    for (int64_t i = 0; i < n_build; ++i) {
-      const uint64_t b = RowHash(build_keys, i) & mask;
-      next[i] = head[b];
-      head[b] = static_cast<int32_t>(i);
-    }
-  } else {
-    // Two-phase parallel build. Phase 1 precomputes the row hashes (pure
-    // element-wise map). Phase 2 partitions the *bucket* range: each task
-    // scans every row in order but links only the rows that land in its own
-    // buckets, so no two tasks touch the same chain and every chain ends up
-    // in the exact LIFO order the sequential insert produces.
-    std::vector<uint64_t> hashes(n_build);
-    RunMorsels(n_build, build_threads, [&](const parallel::Morsel& m) {
-      for (int64_t i = m.begin; i < m.end; ++i) {
-        hashes[i] = RowHash(build_keys, i) & mask;
+  const int bkw = KeyWidth(build_keys);
+  const int pkw = KeyWidth(probe_keys);
+  const double table_bytes = static_cast<double>(n_buckets) * 4 +
+                             static_cast<double>(n_build) * (4 + bkw);
+
+  {
+    obs::OpScope build_scope("hash_build", n_build);
+    build_scope.set_rows_out(n_build);
+    const int build_threads = PlannedThreads(n_build);
+    if (build_threads <= 1) {
+      for (int64_t i = 0; i < n_build; ++i) {
+        const uint64_t b = RowHash(build_keys, i) & mask;
+        next[i] = head[b];
+        head[b] = static_cast<int32_t>(i);
       }
-    });
-    const int64_t buckets = static_cast<int64_t>(n_buckets);
-    const int64_t per_task =
-        (buckets + build_threads - 1) / build_threads;
-    RunChunks(buckets, per_task, build_threads,
-              [&](const parallel::Morsel& m) {
-                const uint64_t lo = static_cast<uint64_t>(m.begin);
-                const uint64_t hi = static_cast<uint64_t>(m.end);
-                for (int64_t i = 0; i < n_build; ++i) {
-                  const uint64_t b = hashes[i];
-                  if (b < lo || b >= hi) continue;
-                  next[i] = head[b];
-                  head[b] = static_cast<int32_t>(i);
-                }
-              });
+    } else {
+      // Two-phase parallel build. Phase 1 precomputes the row hashes (pure
+      // element-wise map). Phase 2 partitions the *bucket* range: each task
+      // scans every row in order but links only the rows that land in its
+      // own buckets, so no two tasks touch the same chain and every chain
+      // ends up in the exact LIFO order the sequential insert produces.
+      std::vector<uint64_t> hashes(n_build);
+      RunMorsels(n_build, build_threads, [&](const parallel::Morsel& m) {
+        for (int64_t i = m.begin; i < m.end; ++i) {
+          hashes[i] = RowHash(build_keys, i) & mask;
+        }
+      });
+      const int64_t buckets = static_cast<int64_t>(n_buckets);
+      const int64_t per_task =
+          (buckets + build_threads - 1) / build_threads;
+      RunChunks(buckets, per_task, build_threads,
+                [&](const parallel::Morsel& m) {
+                  const uint64_t lo = static_cast<uint64_t>(m.begin);
+                  const uint64_t hi = static_cast<uint64_t>(m.end);
+                  for (int64_t i = 0; i < n_build; ++i) {
+                    const uint64_t b = hashes[i];
+                    if (b < lo || b >= hi) continue;
+                    next[i] = head[b];
+                    head[b] = static_cast<int32_t>(i);
+                  }
+                });
+    }
+    if (stats != nullptr) {
+      OpStats op;
+      op.op = "hash_build";
+      op.compute_ops = static_cast<double>(n_build) * cost::kHashInsert *
+                       static_cast<double>(build_keys.size());
+      op.seq_bytes = static_cast<double>(n_build) * bkw;
+      op.rand_count = static_cast<double>(n_build);
+      op.rand_struct_bytes = table_bytes;
+      stats->Add(std::move(op));
+      stats->TrackAlloc(table_bytes);
+    }
   }
 
   JoinResult result;
@@ -157,56 +179,43 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
     }
   };
 
-  const int probe_threads = PlannedThreads(n_probe);
-  if (probe_threads <= 1) {
-    probe_range(0, n_probe, &result.build_idx, &result.probe_idx,
-                &chain_steps);
-  } else {
-    struct ProbePart {
-      std::vector<int32_t> build_idx;
-      std::vector<int32_t> probe_idx;
-      double chain_steps = 0;
-    };
-    std::vector<ProbePart> parts(NumMorsels(n_probe));
-    RunMorsels(n_probe, probe_threads, [&](const parallel::Morsel& m) {
-      ProbePart& part = parts[m.index];
-      probe_range(m.begin, m.end, &part.build_idx, &part.probe_idx,
-                  &part.chain_steps);
-    });
-    size_t total_b = 0, total_p = 0;
-    for (const ProbePart& part : parts) {
-      total_b += part.build_idx.size();
-      total_p += part.probe_idx.size();
+  {
+    obs::OpScope probe_scope("hash_probe", n_probe);
+    const int probe_threads = PlannedThreads(n_probe);
+    if (probe_threads <= 1) {
+      probe_range(0, n_probe, &result.build_idx, &result.probe_idx,
+                  &chain_steps);
+    } else {
+      struct ProbePart {
+        std::vector<int32_t> build_idx;
+        std::vector<int32_t> probe_idx;
+        double chain_steps = 0;
+      };
+      std::vector<ProbePart> parts(NumMorsels(n_probe));
+      RunMorsels(n_probe, probe_threads, [&](const parallel::Morsel& m) {
+        ProbePart& part = parts[m.index];
+        probe_range(m.begin, m.end, &part.build_idx, &part.probe_idx,
+                    &part.chain_steps);
+      });
+      size_t total_b = 0, total_p = 0;
+      for (const ProbePart& part : parts) {
+        total_b += part.build_idx.size();
+        total_p += part.probe_idx.size();
+      }
+      result.build_idx.reserve(total_b);
+      result.probe_idx.reserve(total_p);
+      for (const ProbePart& part : parts) {
+        result.build_idx.insert(result.build_idx.end(),
+                                part.build_idx.begin(),
+                                part.build_idx.end());
+        result.probe_idx.insert(result.probe_idx.end(),
+                                part.probe_idx.begin(),
+                                part.probe_idx.end());
+        chain_steps += part.chain_steps;
+      }
     }
-    result.build_idx.reserve(total_b);
-    result.probe_idx.reserve(total_p);
-    for (const ProbePart& part : parts) {
-      result.build_idx.insert(result.build_idx.end(), part.build_idx.begin(),
-                              part.build_idx.end());
-      result.probe_idx.insert(result.probe_idx.end(), part.probe_idx.begin(),
-                              part.probe_idx.end());
-      chain_steps += part.chain_steps;
-    }
-  }
 
-  if (stats != nullptr) {
-    const int bkw = KeyWidth(build_keys);
-    const int pkw = KeyWidth(probe_keys);
-    const double table_bytes =
-        static_cast<double>(n_buckets) * 4 +
-        static_cast<double>(n_build) * (4 + bkw);
-    {
-      OpStats op;
-      op.op = "hash_build";
-      op.compute_ops = static_cast<double>(n_build) * cost::kHashInsert *
-                       static_cast<double>(build_keys.size());
-      op.seq_bytes = static_cast<double>(n_build) * bkw;
-      op.rand_count = static_cast<double>(n_build);
-      op.rand_struct_bytes = table_bytes;
-      stats->Add(std::move(op));
-      stats->TrackAlloc(table_bytes);
-    }
-    {
+    if (stats != nullptr) {
       OpStats op;
       op.op = "hash_probe";
       op.compute_ops =
@@ -225,7 +234,9 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
       stats->TrackAlloc(out_bytes);
       stats->TrackFree(table_bytes);
     }
+    probe_scope.set_rows_out(static_cast<int64_t>(result.probe_idx.size()));
   }
+  join_scope.set_rows_out(static_cast<int64_t>(result.probe_idx.size()));
   return result;
 }
 

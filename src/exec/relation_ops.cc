@@ -4,12 +4,17 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 #include "storage/column.h"
 
 namespace wimpi::exec {
 
 Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats) {
   WIMPI_CHECK(!parts.empty());
+  int64_t rows_in = 0;
+  for (const Relation& part : parts) rows_in += part.num_rows();
+  obs::OpScope scope("ConcatRelations", rows_in);
+  scope.set_rows_out(rows_in);
   Relation out;
   const Relation& first = parts[0];
   double bytes = 0;

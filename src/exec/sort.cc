@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace wimpi::exec {
 namespace {
@@ -38,6 +39,7 @@ int CompareAt(const Column& c, int64_t a, int64_t b) {
 SelVec SortPerm(const ColumnSource& src, const std::vector<SortKey>& keys,
                 QueryStats* stats, int64_t limit) {
   const int64_t n = src.rows();
+  obs::OpScope scope("SortPerm", n);
   std::vector<const Column*> cols;
   cols.reserve(keys.size());
   for (const auto& k : keys) cols.push_back(&src.column(k.col));
@@ -75,12 +77,15 @@ SelVec SortPerm(const ColumnSource& src, const std::vector<SortKey>& keys,
     op.parallel_fraction = 0.7;
     stats->Add(std::move(op));
   }
+  scope.set_rows_out(static_cast<int64_t>(perm.size()));
   return perm;
 }
 
 Relation SortRelation(const Relation& in, const std::vector<SortKey>& keys,
                       QueryStats* stats, int64_t limit) {
+  obs::OpScope scope("SortRelation", in.num_rows());
   const SelVec perm = SortPerm(ColumnSource(in), keys, stats, limit);
+  scope.set_rows_out(static_cast<int64_t>(perm.size()));
   Relation out;
   for (int i = 0; i < in.num_columns(); ++i) {
     out.AddColumn(in.name(i), Gather(in.column(i), perm, stats));

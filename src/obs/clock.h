@@ -1,0 +1,24 @@
+#ifndef WIMPI_OBS_CLOCK_H_
+#define WIMPI_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wimpi::obs {
+
+// Monotonic microseconds since an arbitrary process-local epoch. All
+// profiler, metrics, and trace timestamps share this clock so spans from
+// different threads line up in one timeline.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double MicrosToSeconds(int64_t us) {
+  return static_cast<double>(us) * 1e-6;
+}
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_CLOCK_H_

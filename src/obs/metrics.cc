@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wimpi::obs {
+
+namespace {
+
+// Lock-free min/max over an atomic<double> via CAS; relaxed ordering is
+// fine — these are statistics, not synchronization.
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<bool> g_pool_metrics{false};
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  WIMPI_CHECK(!bounds_.empty());
+  WIMPI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.resize(bounds_.size() + 1);  // last = overflow
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsUs() {
+  // 1, 1.8, 3.2, 5.6 per decade from 1us up to 60s.
+  std::vector<double> b;
+  for (double decade = 1; decade <= 1e7; decade *= 10) {
+    for (const double m : {1.0, 1.8, 3.2, 5.6}) b.push_back(decade * m);
+  }
+  b.push_back(6e7);
+  return b;
+}
+
+void Histogram::Record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  const int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  if (n == 0) {
+    // First sample initializes min/max; races with concurrent firsts are
+    // resolved by the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+int64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::Min() const {
+  return Count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  if (total == 0) return 0;
+  const double target = p * static_cast<double>(total);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : Max();
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      const double est = lo + (std::max(hi, lo) - lo) * std::min(1.0, frac);
+      // Interpolation assumes samples spread across the whole bucket; the
+      // true extremes are tighter bounds than the bucket edges.
+      return std::clamp(est, Min(), Max());
+    }
+    cum = next;
+  }
+  return Max();
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace constructs the Histogram in place: atomics make it neither
+  // movable nor copyable, and map nodes keep the reference stable.
+  return histograms_.try_emplace(name, bounds).first->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c.Reset();
+  for (auto& [_, g] : gauges_) g.Reset();
+  for (auto& [_, h] : histograms_) h.Reset();
+}
+
+std::string MetricsRegistry::FormatText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c.Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << g.Value() << "\n";
+  }
+  char buf[160];
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%lld mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                  "max=%.1f",
+                  name.c_str(), static_cast<long long>(h.Count()), h.Mean(),
+                  h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99),
+                  h.Max());
+    out << buf << "\n";
+  }
+  return out.str();
+}
+
+std::map<std::string, double> MetricsRegistry::ScalarSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) {
+    out[name] = static_cast<double>(c.Value());
+  }
+  for (const auto& [name, g] : gauges_) out[name] = g.Value();
+  for (const auto& [name, h] : histograms_) {
+    out[name + ".count"] = static_cast<double>(h.Count());
+    out[name + ".sum"] = h.Sum();
+  }
+  return out;
+}
+
+bool PoolMetricsEnabled() {
+  return g_pool_metrics.load(std::memory_order_relaxed);
+}
+
+void SetPoolMetricsEnabled(bool enabled) {
+  g_pool_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace wimpi::obs

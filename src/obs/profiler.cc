@@ -1,0 +1,223 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/stats_hook.h"
+#include "obs/trace.h"
+
+namespace wimpi::obs {
+
+namespace internal {
+std::atomic<bool> g_stats_hook_armed{false};
+}  // namespace internal
+
+namespace {
+
+// The profiler is single-owner: only the thread that constructed the
+// active ScopedProfiling opens scopes or receives OpStats, so the mutable
+// state below needs no locking — other threads only ever read the two
+// atomics (g_active, g_op_label).
+std::atomic<bool> g_active{false};
+std::atomic<const char*> g_op_label{"plan"};
+thread_local bool t_owner = false;
+QueryProfile* g_profile = nullptr;
+ProfileNode* g_current = nullptr;
+
+bool OwnerActive() {
+  return g_active.load(std::memory_order_relaxed) && t_owner;
+}
+
+}  // namespace
+
+namespace internal {
+
+void OpStatsAdded(const exec::OpStats& s) {
+  if (!OwnerActive() || g_current == nullptr) return;
+  g_current->op_stats.push_back(s);
+}
+
+}  // namespace internal
+
+double ProfileNode::ChildSeconds() const {
+  double t = 0;
+  for (const auto& c : children) t += c->wall_seconds;
+  return t;
+}
+
+double ProfileNode::TotalComputeOps() const {
+  double t = 0;
+  for (const auto& s : op_stats) t += s.compute_ops;
+  for (const auto& c : children) t += c->TotalComputeOps();
+  return t;
+}
+
+double ProfileNode::TotalSeqBytes() const {
+  double t = 0;
+  for (const auto& s : op_stats) t += s.seq_bytes;
+  for (const auto& c : children) t += c->TotalSeqBytes();
+  return t;
+}
+
+double ProfileNode::TotalRandCount() const {
+  double t = 0;
+  for (const auto& s : op_stats) t += s.rand_count;
+  for (const auto& c : children) t += c->TotalRandCount();
+  return t;
+}
+
+ScopedProfiling::ScopedProfiling(const ProfileOptions& opts,
+                                 QueryProfile* out, std::string label)
+    : out_(out), opts_(opts) {
+  WIMPI_CHECK(out != nullptr);
+  WIMPI_CHECK(!g_active.load(std::memory_order_relaxed))
+      << "nested ScopedProfiling is not supported";
+  out_->root = ProfileNode{};
+  out_->root.name = std::move(label);
+  out_->wall_seconds = 0;
+  if (opts_.operator_profile) {
+    g_profile = out_;
+    g_current = &out_->root;
+    t_owner = true;
+    g_op_label.store("plan", std::memory_order_relaxed);
+    g_active.store(true, std::memory_order_relaxed);
+    internal::g_stats_hook_armed.store(true, std::memory_order_relaxed);
+  }
+  prev_trace_ = TraceSink::Global().enabled();
+  if (opts_.trace) TraceSink::Global().set_enabled(true);
+  prev_pool_metrics_ = PoolMetricsEnabled();
+  if (opts_.pool_metrics) SetPoolMetricsEnabled(true);
+  start_us_ = NowMicros();
+}
+
+ScopedProfiling::~ScopedProfiling() {
+  const double wall = MicrosToSeconds(NowMicros() - start_us_);
+  out_->wall_seconds = wall;
+  out_->root.wall_seconds = wall;
+  if (opts_.operator_profile) {
+    internal::g_stats_hook_armed.store(false, std::memory_order_relaxed);
+    g_active.store(false, std::memory_order_relaxed);
+    t_owner = false;
+    g_current = nullptr;
+    g_profile = nullptr;
+  }
+  TraceSink::Global().set_enabled(prev_trace_);
+  SetPoolMetricsEnabled(prev_pool_metrics_);
+}
+
+OpScope::OpScope(const char* name, int64_t rows_in) {
+  if (!OwnerActive()) return;
+  parent_ = g_current;
+  auto node = std::make_unique<ProfileNode>();
+  node->name = name;
+  node->rows_in = rows_in;
+  node_ = node.get();
+  parent_->children.push_back(std::move(node));
+  g_current = node_;
+  prev_label_ = g_op_label.load(std::memory_order_relaxed);
+  g_op_label.store(name, std::memory_order_relaxed);
+  start_us_ = NowMicros();
+}
+
+OpScope::~OpScope() {
+  if (node_ == nullptr) return;
+  node_->wall_seconds = MicrosToSeconds(NowMicros() - start_us_);
+  g_current = parent_;
+  g_op_label.store(prev_label_, std::memory_order_relaxed);
+}
+
+bool ProfilerActive() { return g_active.load(std::memory_order_relaxed); }
+
+void NoteParallelPhase(int threads, int morsels) {
+  if (!OwnerActive() || g_current == nullptr) return;
+  g_current->threads = std::max(g_current->threads, threads);
+  g_current->morsels = std::max(g_current->morsels, morsels);
+}
+
+const char* CurrentOpLabel() {
+  return g_op_label.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string HumanCount(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+void FormatNode(const ProfileNode& n, const std::string& prefix, bool last,
+                bool root, std::ostringstream& out) {
+  if (root) {
+    out << n.name;
+  } else {
+    out << prefix << (last ? "`- " : "|- ") << n.name;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %.3f ms", n.wall_seconds * 1e3);
+  out << buf;
+  if (!root) {
+    out << "  rows " << n.rows_in << "->" << n.rows_out;
+    if (n.threads > 1) {
+      out << "  threads " << n.threads << "  morsels " << n.morsels;
+    }
+  }
+  // The model-side view of the same invocation (this node only, so the
+  // numbers do not double count what child lines already show).
+  double ops = 0, seq = 0, rnd = 0;
+  for (const auto& s : n.op_stats) {
+    ops += s.compute_ops;
+    seq += s.seq_bytes;
+    rnd += s.rand_count;
+  }
+  if (ops > 0 || seq > 0 || rnd > 0) {
+    out << "  [" << HumanCount(ops) << " ops, " << HumanCount(seq)
+        << "B seq, " << HumanCount(rnd) << " rand]";
+  }
+  if (!n.op_stats.empty()) {
+    out << "  {";
+    for (size_t i = 0; i < n.op_stats.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << n.op_stats[i].op;
+    }
+    out << "}";
+  }
+  out << "\n";
+  const std::string child_prefix =
+      root ? "" : prefix + (last ? "   " : "|  ");
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    FormatNode(*n.children[i], child_prefix, i + 1 == n.children.size(),
+               false, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryProfile::FormatTree() const {
+  std::ostringstream out;
+  FormatNode(root, "", true, true, out);
+  const double op_s = OperatorSeconds();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "wall %.3f ms, operators %.3f ms (%.1f%%), plan glue "
+                "%.3f ms\n",
+                wall_seconds * 1e3, op_s * 1e3,
+                wall_seconds > 0 ? 100.0 * op_s / wall_seconds : 0.0,
+                (wall_seconds - op_s) * 1e3);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace wimpi::obs

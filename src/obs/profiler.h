@@ -1,0 +1,126 @@
+#ifndef WIMPI_OBS_PROFILER_H_
+#define WIMPI_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/counters.h"
+
+namespace wimpi::obs {
+
+// Profiling knobs, the observability sibling of exec::ExecOptions. All off
+// by default: the operator library then performs one relaxed atomic load
+// per operator invocation and never reads a clock, so unprofiled runs keep
+// the seed engine's behaviour (and results) bit-for-bit.
+struct ProfileOptions {
+  // Collect the EXPLAIN ANALYZE-style operator tree (wall time, rows,
+  // morsels, threads, OpStats side by side).
+  bool operator_profile = true;
+  // Record per-morsel / per-task spans into TraceSink (chrome://tracing).
+  bool trace = false;
+  // Enable the ThreadPool/TaskScheduler metric hooks (task latency, queue
+  // wait, per-worker busy/idle) in MetricsRegistry::Global().
+  bool pool_metrics = false;
+};
+
+// One node of the profile tree: an operator invocation (or the query root).
+// Children are operators invoked while this one was on the scope stack,
+// e.g. SortRelation -> [SortPerm, Gather...]. OpStats recorded via
+// QueryStats::Add land on the node that was innermost at Add time.
+struct ProfileNode {
+  std::string name;  // operator kind, e.g. "Filter", "HashJoin"
+  double wall_seconds = 0;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int threads = 1;  // max threads of any parallel phase (1 = sequential)
+  int morsels = 1;  // morsel/chunk count of the widest parallel phase
+  // Abstract work counters recorded while this scope was innermost — the
+  // model-side view of the same invocation, side by side with wall time.
+  std::vector<exec::OpStats> op_stats;
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  double ChildSeconds() const;
+  double SelfSeconds() const { return wall_seconds - ChildSeconds(); }
+  double TotalComputeOps() const;
+  double TotalSeqBytes() const;
+  double TotalRandCount() const;
+};
+
+// Result of one profiled query execution.
+struct QueryProfile {
+  ProfileNode root;  // root.name = label passed to ScopedProfiling
+  double wall_seconds = 0;
+
+  // Sum of wall seconds over the root's direct children (the top-level
+  // operator invocations). The gap to `wall_seconds` is plan glue.
+  double OperatorSeconds() const { return root.ChildSeconds(); }
+
+  // EXPLAIN ANALYZE-style text rendering of the tree.
+  std::string FormatTree() const;
+};
+
+// Installs profiling for the current thread's query execution (RAII).
+// Exactly one may be active at a time per process; the constructor records
+// the owning thread, and scopes opened on other threads (operators running
+// inside pool tasks) become no-ops, so worker threads never touch the
+// scope stack.
+class ScopedProfiling {
+ public:
+  ScopedProfiling(const ProfileOptions& opts, QueryProfile* out,
+                  std::string label = "query");
+  ~ScopedProfiling();
+
+  ScopedProfiling(const ScopedProfiling&) = delete;
+  ScopedProfiling& operator=(const ScopedProfiling&) = delete;
+
+ private:
+  QueryProfile* out_;
+  ProfileOptions opts_;
+  int64_t start_us_ = 0;
+  bool prev_trace_ = false;
+  bool prev_pool_metrics_ = false;
+};
+
+// RAII operator scope. When no profiler is active (or the caller is not
+// the profiling thread) construction is one relaxed load and everything
+// else is a no-op.
+class OpScope {
+ public:
+  // `name` must be a string literal (stored unowned for trace labels).
+  OpScope(const char* name, int64_t rows_in);
+  ~OpScope();
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+  void set_rows_out(int64_t rows) {
+    if (node_ != nullptr) node_->rows_out = rows;
+  }
+
+ private:
+  ProfileNode* node_ = nullptr;
+  ProfileNode* parent_ = nullptr;
+  const char* prev_label_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+// True while a ScopedProfiling with operator_profile is installed (any
+// thread may ask; only the owning thread may open scopes).
+bool ProfilerActive();
+
+// Called by the morsel scheduler glue on the profiling thread before
+// fanning out: records the parallel shape on the innermost open scope.
+void NoteParallelPhase(int threads, int morsels);
+
+// Label of the innermost open scope ("plan" when none); readable from
+// worker threads while they execute that scope's morsels, used to name
+// trace spans. Returns a string literal pointer.
+const char* CurrentOpLabel();
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_PROFILER_H_

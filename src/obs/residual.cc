@@ -1,0 +1,124 @@
+#include "obs/residual.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace wimpi::obs {
+
+namespace {
+
+std::string OpClass(const std::string& op_name) {
+  const size_t paren = op_name.find('(');
+  return paren == std::string::npos ? op_name : op_name.substr(0, paren);
+}
+
+struct ClassAccum {
+  double measured = 0;
+  double modeled = 0;
+};
+
+// Attributes one node's self wall time to the op classes of the OpStats it
+// recorded, split proportionally to each class's modeled seconds (a node
+// usually holds one class; Filter holds one per conjunct, all "filter").
+void AccumulateNode(const ProfileNode& node, const hw::CostModel& model,
+                    const hw::HardwareProfile& host, int threads,
+                    std::map<std::string, ClassAccum>* acc) {
+  if (!node.op_stats.empty()) {
+    std::map<std::string, double> modeled_by_class;
+    double modeled_total = 0;
+    for (const auto& s : node.op_stats) {
+      const double sec = model.OpSeconds(host, s, threads);
+      modeled_by_class[OpClass(s.op)] += sec;
+      modeled_total += sec;
+    }
+    const double self = std::max(0.0, node.SelfSeconds());
+    for (const auto& [cls, sec] : modeled_by_class) {
+      ClassAccum& a = (*acc)[cls];
+      a.modeled += sec;
+      a.measured += modeled_total > 0
+                        ? self * (sec / modeled_total)
+                        : self / static_cast<double>(modeled_by_class.size());
+    }
+  }
+  for (const auto& c : node.children) {
+    AccumulateNode(*c, model, host, threads, acc);
+  }
+}
+
+}  // namespace
+
+ResidualReport CostModelResiduals(const QueryProfile& profile,
+                                  const hw::CostModel& model,
+                                  const hw::HardwareProfile& host,
+                                  int threads) {
+  ResidualReport report;
+  report.label = profile.root.name;
+  report.threads = threads;
+
+  std::map<std::string, ClassAccum> acc;
+  // Children only: the root's own op_stats are plan glue recorded outside
+  // any operator scope, with no meaningful wall attribution.
+  for (const auto& c : profile.root.children) {
+    AccumulateNode(*c, model, host, threads, &acc);
+  }
+
+  for (const auto& [_, a] : acc) {
+    report.measured_total_seconds += a.measured;
+    report.modeled_total_seconds += a.modeled;
+  }
+  report.anchor = report.modeled_total_seconds > 0
+                      ? report.measured_total_seconds /
+                            report.modeled_total_seconds
+                      : 1.0;
+
+  for (const auto& [cls, a] : acc) {
+    ResidualEntry e;
+    e.op_class = cls;
+    e.measured_seconds = a.measured;
+    e.modeled_seconds = a.modeled;
+    e.anchored_model_seconds = a.modeled * report.anchor;
+    e.residual_seconds = a.measured - e.anchored_model_seconds;
+    e.measured_share = report.measured_total_seconds > 0
+                           ? a.measured / report.measured_total_seconds
+                           : 0;
+    e.modeled_share = report.modeled_total_seconds > 0
+                          ? a.modeled / report.modeled_total_seconds
+                          : 0;
+    report.entries.push_back(std::move(e));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const ResidualEntry& a, const ResidualEntry& b) {
+              return a.measured_seconds > b.measured_seconds;
+            });
+  return report;
+}
+
+std::string ResidualReport::Format() const {
+  std::ostringstream out;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "Cost-model residuals for %s (threads=%d, anchor=%.3g: "
+                "measured %.3f ms vs modeled %.3f ms)\n",
+                label.c_str(), threads, anchor,
+                measured_total_seconds * 1e3, modeled_total_seconds * 1e3);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %12s %12s %12s %8s %8s\n",
+                "op class", "measured ms", "model ms", "residual ms",
+                "meas %", "model %");
+  out << buf;
+  for (const auto& e : entries) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s %12.3f %12.3f %+12.3f %7.1f%% %7.1f%%\n",
+                  e.op_class.c_str(), e.measured_seconds * 1e3,
+                  e.anchored_model_seconds * 1e3, e.residual_seconds * 1e3,
+                  e.measured_share * 100, e.modeled_share * 100);
+    out << buf;
+  }
+  out << "  (model ms are anchored: residuals show share/shape error, not "
+         "absolute host speed)\n";
+  return out.str();
+}
+
+}  // namespace wimpi::obs

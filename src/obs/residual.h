@@ -1,0 +1,54 @@
+#ifndef WIMPI_OBS_RESIDUAL_H_
+#define WIMPI_OBS_RESIDUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/profile.h"
+#include "obs/profiler.h"
+
+namespace wimpi::obs {
+
+// Cost-model residuals: measured per-operator-class host seconds (from a
+// profiled run) against the seconds the hw::CostModel predicts for the same
+// abstract work on hw::HostProfile(). The host pseudo-profile only knows
+// its thread topology, not absolute rates, so modeled times are first
+// scaled by one global anchor (total measured / total modeled — the same
+// move the paper makes when it anchors Figure 3/4 ratios to one machine);
+// residuals then expose *shape* errors: operator classes whose measured
+// share deviates from their modeled share.
+
+struct ResidualEntry {
+  std::string op_class;  // OpStats name up to '(' — e.g. "filter"
+  double measured_seconds = 0;
+  double modeled_seconds = 0;         // raw model output (unanchored)
+  double anchored_model_seconds = 0;  // modeled * anchor
+  double residual_seconds = 0;        // measured - anchored_model
+  double measured_share = 0;          // measured / total measured
+  double modeled_share = 0;           // modeled / total modeled
+};
+
+struct ResidualReport {
+  std::string label;     // query label from the profile root
+  int threads = 1;       // thread count the model was asked about
+  double anchor = 1;     // total measured / total modeled
+  double measured_total_seconds = 0;
+  double modeled_total_seconds = 0;
+  std::vector<ResidualEntry> entries;  // sorted by measured share, desc
+
+  std::string Format() const;
+};
+
+// Walks the profile tree, groups leaf operator time by op class, and pairs
+// it with CostModel::OpSeconds on `host` at `threads` threads. Nodes whose
+// wall time covers several classes split their measured seconds in
+// proportion to the modeled seconds of each class.
+ResidualReport CostModelResiduals(const QueryProfile& profile,
+                                  const hw::CostModel& model,
+                                  const hw::HardwareProfile& host,
+                                  int threads);
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_RESIDUAL_H_

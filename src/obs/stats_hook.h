@@ -1,0 +1,30 @@
+#ifndef WIMPI_OBS_STATS_HOOK_H_
+#define WIMPI_OBS_STATS_HOOK_H_
+
+#include <atomic>
+
+// Minimal hook header included by exec/counters.h (which obs/profiler.h
+// itself includes — hence no profiler types here, only a forward
+// declaration). QueryStats::Add calls the hook so each recorded OpStats
+// lands on the profile node that is innermost at Add time; with no
+// profiler installed the hook is a single relaxed load.
+
+namespace wimpi::exec {
+struct OpStats;
+}  // namespace wimpi::exec
+
+namespace wimpi::obs::internal {
+
+extern std::atomic<bool> g_stats_hook_armed;
+
+inline bool StatsHookArmed() {
+  return g_stats_hook_armed.load(std::memory_order_relaxed);
+}
+
+// Defined in profiler.cc: copies `s` onto the current profile node when the
+// calling thread owns the active profiler, else no-op.
+void OpStatsAdded(const exec::OpStats& s);
+
+}  // namespace wimpi::obs::internal
+
+#endif  // WIMPI_OBS_STATS_HOOK_H_

@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/clock.h"
+
+namespace wimpi::obs {
+
+namespace {
+
+std::atomic<int> g_next_tid{0};
+thread_local int t_tid = -1;
+
+}  // namespace
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+int TraceSink::CurrentThreadId() {
+  if (t_tid < 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSink::RecordComplete(std::string name, const char* category,
+                               int64_t ts_us, int64_t dur_us,
+                               std::string args_json) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = category;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = CurrentThreadId();
+  e.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string TraceSink::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+        << e.category << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+        << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args_json.empty()) out << ",\"args\":" << e.args_json;
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool TraceSink::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    WIMPI_LOG(Error) << "cannot open trace file " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    WIMPI_LOG(Error) << "short write to trace file " << path;
+    return false;
+  }
+  return true;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : active_(TraceSink::Global().enabled()),
+      category_(category) {
+  if (!active_) return;
+  name_ = name;
+  start_us_ = NowMicros();
+}
+
+TraceSpan::TraceSpan(std::string name, const char* category,
+                     std::string args_json)
+    : active_(TraceSink::Global().enabled()),
+      category_(category) {
+  if (!active_) return;
+  name_ = std::move(name);
+  args_json_ = std::move(args_json);
+  start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const int64_t end = NowMicros();
+  TraceSink::Global().RecordComplete(std::move(name_), category_, start_us_,
+                                     end - start_us_, std::move(args_json_));
+}
+
+}  // namespace wimpi::obs

@@ -1,0 +1,89 @@
+#ifndef WIMPI_OBS_TRACE_H_
+#define WIMPI_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wimpi::obs {
+
+// One complete ("ph":"X") event in Chrome trace-event format. Timestamps
+// are NowMicros() values; tids are small dense ids assigned per thread so
+// chrome://tracing / Perfetto renders one row per worker.
+struct TraceEvent {
+  std::string name;
+  const char* category = "exec";
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  int tid = 0;
+  // Optional pre-rendered JSON object for the "args" field (e.g.
+  // R"({"morsel":3,"rows":65536})"); empty = no args.
+  std::string args_json;
+};
+
+// Process-wide span sink. Recording is a mutex-guarded vector append and
+// happens only while enabled, so disabled runs never allocate or lock.
+// The scheduler/pool hooks check `enabled()` (one relaxed atomic load)
+// before reading any clock.
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Clear();
+  size_t size() const;
+
+  void RecordComplete(std::string name, const char* category, int64_t ts_us,
+                      int64_t dur_us, std::string args_json = "");
+
+  std::vector<TraceEvent> Snapshot() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} — loadable by
+  // chrome://tracing and https://ui.perfetto.dev.
+  std::string ToJson() const;
+  // Returns false (and logs) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+  // Dense id of the calling thread (0 = first thread ever seen).
+  static int CurrentThreadId();
+
+ private:
+  TraceSink() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// Escapes a string for embedding in a JSON string literal (quotes,
+// backslashes, control characters). Shared by the trace and bench writers.
+std::string JsonEscape(const std::string& s);
+
+// RAII span: records a complete event on destruction when the sink was
+// enabled at construction. Cheap no-op otherwise.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category);
+  TraceSpan(std::string name, const char* category, std::string args_json);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  const char* category_ = nullptr;
+  std::string args_json_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_TRACE_H_

@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
+#include <string>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace wimpi::parallel {
 
@@ -35,6 +39,26 @@ void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
   if (morsels.empty()) return;
   if (threads <= 1 || morsels.size() == 1) {
     for (const Morsel& m : morsels) body(m);
+    return;
+  }
+  // Profiler hooks, both no-ops unless a profiled run enabled them: the
+  // open operator scope learns this phase's fan-out, and with tracing on
+  // every morsel becomes one chrome://tracing span on the worker (or
+  // caller) thread that ran it.
+  obs::NoteParallelPhase(threads, static_cast<int>(morsels.size()));
+  if (obs::TraceSink::Global().enabled()) {
+    const char* label = obs::CurrentOpLabel();
+    pool_.ParallelFor(
+        static_cast<int64_t>(morsels.size()),
+        [&](int64_t i) {
+          const Morsel& m = morsels[static_cast<size_t>(i)];
+          char args[64];
+          std::snprintf(args, sizeof(args), "{\"morsel\":%d,\"rows\":%lld}",
+                        m.index, static_cast<long long>(m.rows()));
+          obs::TraceSpan span(std::string(label), "morsel", args);
+          body(m);
+        },
+        threads);
     return;
   }
   pool_.ParallelFor(
@@ -69,6 +93,7 @@ void RunNodeChain(const std::shared_ptr<GraphState>& state, int start) {
   while (i >= 0) {
     if (!state->abort.load(std::memory_order_relaxed)) {
       try {
+        obs::TraceSpan span("graph-node", "pool");
         (*state->nodes)[i]();
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->mu);

@@ -3,11 +3,40 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wimpi::parallel {
 
 namespace {
+
 thread_local bool t_on_worker_thread = false;
+
+// Per-worker metric handles, resolved on first use so the registry mutex
+// is taken once per worker, not per task. Only touched when the pool
+// metrics hooks are enabled.
+struct WorkerMetrics {
+  obs::Counter* busy_us = nullptr;
+  obs::Counter* idle_us = nullptr;
+  obs::Counter* tasks = nullptr;
+  obs::Histogram* queue_wait_us = nullptr;
+  obs::Histogram* task_run_us = nullptr;
+
+  void Ensure(int worker_index) {
+    if (busy_us != nullptr) return;
+    auto& reg = obs::MetricsRegistry::Global();
+    const std::string w = "pool.worker" + std::to_string(worker_index);
+    busy_us = &reg.counter(w + ".busy_us");
+    idle_us = &reg.counter(w + ".idle_us");
+    tasks = &reg.counter("pool.tasks");
+    queue_wait_us = &reg.histogram("pool.task.queue_wait_us");
+    task_run_us = &reg.histogram("pool.task.run_us");
+  }
+};
+
 }  // namespace
 
 bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
@@ -19,7 +48,7 @@ ThreadPool::ThreadPool(int num_threads) {
   }
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -32,10 +61,22 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  QueuedTask task;
+  task.fn = std::move(fn);
+  if (obs::PoolMetricsEnabled()) task.enqueue_us = obs::NowMicros();
+  queue_.push_back(std::move(task));
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
   t_on_worker_thread = true;
+  WorkerMetrics metrics;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    // One relaxed load decides whether this iteration reads clocks at all;
+    // with the hooks off the loop is exactly the seed pool's.
+    const bool instrumented = obs::PoolMetricsEnabled();
+    const int64_t idle_start = instrumented ? obs::NowMicros() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
@@ -43,7 +84,25 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (!instrumented) {
+      task.fn();
+      continue;
+    }
+    metrics.Ensure(worker_index);
+    const int64_t start = obs::NowMicros();
+    metrics.idle_us->Add(start - idle_start);
+    if (task.enqueue_us > 0) {
+      metrics.queue_wait_us->Record(
+          static_cast<double>(start - task.enqueue_us));
+    }
+    {
+      obs::TraceSpan span("task", "pool");
+      task.fn();
+    }
+    const int64_t end = obs::NowMicros();
+    metrics.busy_us->Add(end - start);
+    metrics.task_run_us->Record(static_cast<double>(end - start));
+    metrics.tasks->Add(1);
   }
 }
 
@@ -52,7 +111,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::future<void> result = task->get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace_back([task] { (*task)(); });
+    Enqueue([task] { (*task)(); });
   }
   cv_.notify_one();
   return result;
@@ -119,7 +178,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
       std::min<int64_t>(helpers, n - 1));  // caller takes a share
   for (int h = 0; h < helpers; ++h) {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace_back(drain);
+    Enqueue(drain);
   }
   if (helpers > 0) cv_.notify_all();
 

@@ -49,11 +49,20 @@ class ThreadPool {
   static bool OnWorkerThread();
 
  private:
-  void WorkerLoop();
+  // A queued task plus the instant it was enqueued (0 when the pool
+  // metrics hooks were off at enqueue time, so the worker skips the
+  // queue-wait sample for it).
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+  void Enqueue(std::function<void()> fn);  // caller must hold mu_
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,276 @@
+#include "artifact.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/json.h"
+#include "obs/perf_counters.h"
+
+#ifndef WIMPI_GIT_SHA
+#define WIMPI_GIT_SHA "unknown"
+#endif
+
+namespace wimpi::bench {
+
+namespace {
+
+// Measured quantities carry host noise; the comparer gates them separately
+// (CompareOptions.wall_tol). Matched on the metric name by convention.
+bool IsMeasuredMetric(const std::string& metric) {
+  return metric.find("wall") != std::string::npos ||
+         metric.find("seconds") != std::string::npos ||
+         metric.find("speedup") != std::string::npos;
+}
+
+void WriteStringMap(JsonWriter& w, const char* key,
+                    const std::map<std::string, double>& m) {
+  w.Key(key).BeginObject();
+  for (const auto& [k, v] : m) w.Key(k).Double(v);
+  w.EndObject();
+}
+
+bool ReadStringMap(const JsonValue& obj, const std::string& key,
+                   std::map<std::string, double>* out) {
+  const JsonValue* m = obj.Find(key);
+  if (m == nullptr) return true;  // optional section
+  if (!m->is_object()) return false;
+  for (const auto& [k, v] : m->AsObject()) {
+    if (!v.is_number()) return false;
+    (*out)[k] = v.AsDouble();
+  }
+  return true;
+}
+
+}  // namespace
+
+RunArtifact MakeArtifact(const std::string& bench, double model_sf) {
+  RunArtifact a;
+  a.bench = bench;
+  a.model_sf = model_sf;
+  a.git_sha = WIMPI_GIT_SHA;
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) {
+    std::snprintf(host, sizeof(host), "unknown");
+  }
+  a.hostname = host;
+  a.host_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  a.perf_available = obs::PerfCounters::Available();
+  return a;
+}
+
+bool WriteArtifact(const std::string& path, const RunArtifact& a) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("schema_version").Int(a.schema_version)
+      .Key("bench").String(a.bench)
+      .Key("git_sha").String(a.git_sha)
+      .Key("model_sf").Double(a.model_sf)
+      .Key("unit").String(a.unit)
+      .Key("host").BeginObject()
+          .Key("hostname").String(a.hostname)
+          .Key("threads").Int(a.host_threads)
+      .EndObject()
+      .Key("perf_available").Bool(a.perf_available);
+  WriteStringMap(w, "perf", a.perf);
+  WriteStringMap(w, "metrics", a.metrics);
+  w.Key("rows").BeginObject();
+  for (const auto& [series, metrics] : a.rows) {
+    w.Key(series).BeginObject();
+    for (const auto& [metric, value] : metrics) {
+      w.Key(metric).Double(value);
+    }
+    w.EndObject();
+  }
+  w.EndObject().EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write artifact %s\n", path.c_str());
+    return false;
+  }
+  const std::string& json = w.str();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (written != json.size()) {
+    std::fprintf(stderr, "[bench] short write to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[bench] wrote artifact %s\n", path.c_str());
+  return true;
+}
+
+bool ReadArtifact(const std::string& path, RunArtifact* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  JsonValue doc;
+  std::string parse_error;
+  if (!JsonValue::Parse(text.str(), &doc, &parse_error)) {
+    *error = path + ": " + parse_error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    *error = path + ": artifact root must be an object";
+    return false;
+  }
+  *out = RunArtifact{};
+  out->schema_version =
+      static_cast<int>(doc.GetDouble("schema_version", -1));
+  if (out->schema_version != kArtifactSchemaVersion) {
+    *error = path + ": schema_version " +
+             std::to_string(out->schema_version) + " (expected " +
+             std::to_string(kArtifactSchemaVersion) + ")";
+    return false;
+  }
+  out->bench = doc.GetString("bench", "");
+  out->git_sha = doc.GetString("git_sha", "unknown");
+  out->model_sf = doc.GetDouble("model_sf", 0);
+  out->unit = doc.GetString("unit", "seconds");
+  if (const JsonValue* host = doc.Find("host"); host != nullptr) {
+    out->hostname = host->GetString("hostname", "unknown");
+    out->host_threads = static_cast<int>(host->GetDouble("threads", 0));
+  }
+  if (const JsonValue* pa = doc.Find("perf_available"); pa != nullptr) {
+    out->perf_available = pa->AsBool();
+  }
+  if (!ReadStringMap(doc, "perf", &out->perf) ||
+      !ReadStringMap(doc, "metrics", &out->metrics)) {
+    *error = path + ": malformed perf/metrics section";
+    return false;
+  }
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_object()) {
+    *error = path + ": missing rows object";
+    return false;
+  }
+  for (const auto& [series, metrics] : rows->AsObject()) {
+    if (!metrics.is_object()) {
+      *error = path + ": series " + series + " is not an object";
+      return false;
+    }
+    for (const auto& [metric, value] : metrics.AsObject()) {
+      if (!value.is_number()) {
+        *error = path + ": " + series + "/" + metric + " is not a number";
+        return false;
+      }
+      out->rows[series][metric] = value.AsDouble();
+    }
+  }
+  return true;
+}
+
+CompareResult CompareArtifacts(const RunArtifact& base,
+                               const RunArtifact& current,
+                               const CompareOptions& opts) {
+  CompareResult r;
+  if (base.bench != current.bench) {
+    r.errors.push_back("bench mismatch: baseline '" + base.bench +
+                       "' vs current '" + current.bench + "'");
+  }
+  if (base.model_sf != current.model_sf) {
+    r.errors.push_back("model_sf mismatch: baseline " +
+                       std::to_string(base.model_sf) + " vs current " +
+                       std::to_string(current.model_sf));
+  }
+  if (base.unit != current.unit) {
+    r.errors.push_back("unit mismatch: baseline '" + base.unit +
+                       "' vs current '" + current.unit + "'");
+  }
+  if (base.git_sha != current.git_sha) {
+    r.notes.push_back("comparing " + base.git_sha + " -> " +
+                      current.git_sha);
+  }
+  if (base.hostname != current.hostname) {
+    r.notes.push_back(
+        "different hosts (" + base.hostname + " vs " + current.hostname +
+        "): measured metrics are not comparable, modeled ones are");
+  }
+
+  int compared = 0;
+  int skipped_measured = 0;
+  for (const auto& [series, metrics] : base.rows) {
+    const auto cur_series = current.rows.find(series);
+    for (const auto& [metric, base_v] : metrics) {
+      const double* cur_v = nullptr;
+      if (cur_series != current.rows.end()) {
+        const auto it = cur_series->second.find(metric);
+        if (it != cur_series->second.end()) cur_v = &it->second;
+      }
+      if (cur_v == nullptr) {
+        if (opts.fail_on_missing) {
+          r.errors.push_back("missing in current artifact: " + series +
+                             "/" + metric);
+        }
+        continue;
+      }
+      const bool measured = IsMeasuredMetric(metric);
+      const double tol = measured ? opts.wall_tol : opts.rel_tol;
+      if (measured && opts.wall_tol <= 0) {
+        ++skipped_measured;
+        continue;
+      }
+      ++compared;
+      const double diff = *cur_v - base_v;
+      if (std::fabs(diff) <= opts.abs_floor) continue;
+      const double denom = std::max(std::fabs(base_v), opts.abs_floor);
+      if (std::fabs(diff) / denom <= tol) continue;
+      CompareResult::Diff d;
+      d.series = series;
+      d.metric = metric;
+      d.base = base_v;
+      d.current = *cur_v;
+      d.regression = diff > 0;  // unit is seconds: higher is worse
+      r.diffs.push_back(std::move(d));
+    }
+  }
+  // New metrics in the current artifact are fine (coverage grew).
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "compared %d metric(s), %d measured metric(s) %s", compared,
+                skipped_measured,
+                opts.wall_tol > 0 ? "gated" : "informational (no --wall-tol)");
+  r.notes.push_back(buf);
+
+  for (const auto& d : r.diffs) {
+    if (d.regression) {
+      r.ok = false;
+      break;
+    }
+  }
+  if (!r.errors.empty()) r.ok = false;
+  return r;
+}
+
+std::string CompareResult::Format() const {
+  std::ostringstream out;
+  for (const auto& e : errors) out << "ERROR: " << e << "\n";
+  for (const auto& d : diffs) {
+    char buf[220];
+    const double pct =
+        d.base != 0 ? 100.0 * (d.current - d.base) / std::fabs(d.base) : 0;
+    std::snprintf(buf, sizeof(buf), "%s: %s/%s %.6g -> %.6g (%+.1f%%)\n",
+                  d.regression ? "REGRESSION" : "improvement",
+                  d.series.c_str(), d.metric.c_str(), d.base, d.current,
+                  pct);
+    out << buf;
+  }
+  for (const auto& n : notes) out << "note: " << n << "\n";
+  out << (ok ? "PASS" : "FAIL") << "\n";
+  return out.str();
+}
+
+}  // namespace wimpi::bench

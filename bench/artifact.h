@@ -1,0 +1,103 @@
+#ifndef WIMPI_BENCH_ARTIFACT_H_
+#define WIMPI_BENCH_ARTIFACT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wimpi::bench {
+
+// Schema-versioned benchmark run artifact: the stable machine-readable
+// record every runtime bench emits with --json=<path>, compared across
+// commits by wimpi_bench_compare. Documented in README.md ("Benchmark
+// artifacts & regression gate"). Bump kArtifactSchemaVersion on any
+// incompatible change; the comparer refuses mismatched versions.
+//
+// Values are grouped as series -> metric -> value (all doubles, unit
+// `unit`, lower is better). Conventions:
+//   * modeled runtimes: series = hardware profile ("pi3b+", "wimpi-24"),
+//     metric = "Q<n>";
+//   * measured host quantities: metric name contains "wall", "seconds",
+//     or "speedup" — the comparer treats those as noisy and only gates
+//     them when --wall-tol is set.
+inline constexpr int kArtifactSchemaVersion = 1;
+
+struct RunArtifact {
+  int schema_version = kArtifactSchemaVersion;
+  std::string bench;            // e.g. "table2_sf1"
+  std::string git_sha;          // build-time sha, "unknown" outside git
+  double model_sf = 0;          // scale factor the numbers are modeled at
+  std::string unit = "seconds";
+
+  // Host fingerprint (informational; comparisons never require equality).
+  std::string hostname;
+  int host_threads = 0;
+
+  // Whole-run perf-counter summary (from obs::PerfCounters); values keyed
+  // by PerfEventName. perf_available false = counters could not be opened
+  // (the map is then empty).
+  bool perf_available = false;
+  std::map<std::string, double> perf;
+
+  // Optional process metrics snapshot (obs::MetricsRegistry scalars).
+  std::map<std::string, double> metrics;
+
+  std::map<std::string, std::map<std::string, double>> rows;
+};
+
+// Fills the environment-derived fields: bench name, model_sf, git sha,
+// hostname, thread count, and perf availability (one cheap probe).
+RunArtifact MakeArtifact(const std::string& bench, double model_sf);
+
+// Writes `a` as pretty-stable JSON (sorted keys via std::map). Returns
+// false and logs to stderr when the file cannot be written.
+bool WriteArtifact(const std::string& path, const RunArtifact& a);
+
+// Parses an artifact written by WriteArtifact. Returns false and fills
+// `*error` on unreadable files, malformed JSON, or a wrong schema version.
+bool ReadArtifact(const std::string& path, RunArtifact* out,
+                  std::string* error);
+
+// ---------- comparison ----------
+
+struct CompareOptions {
+  // Relative tolerance for deterministic (modeled) metrics.
+  double rel_tol = 0.02;
+  // Absolute floor below which differences never count (noise in values
+  // that are essentially zero).
+  double abs_floor = 1e-6;
+  // Tolerance for measured metrics (name contains wall/seconds/speedup);
+  // <= 0 leaves them informational only.
+  double wall_tol = 0;
+  // A series/metric present in the baseline but missing from the current
+  // artifact fails the comparison (coverage must not silently shrink).
+  bool fail_on_missing = true;
+};
+
+struct CompareResult {
+  struct Diff {
+    std::string series;
+    std::string metric;
+    double base = 0;
+    double current = 0;
+    bool regression = false;  // worse beyond tolerance (higher = worse)
+  };
+  bool ok = true;  // no regressions, no structural mismatch
+  std::vector<Diff> diffs;           // beyond-tolerance changes (both ways)
+  std::vector<std::string> errors;   // structural problems (version, ...)
+  std::vector<std::string> notes;    // informational lines
+
+  // Human-readable multi-line summary of the comparison.
+  std::string Format() const;
+};
+
+// Compares `current` against `base`. Improvements beyond tolerance are
+// reported but do not fail; regressions and structural mismatches set
+// ok=false (wimpi_bench_compare exits nonzero).
+CompareResult CompareArtifacts(const RunArtifact& base,
+                               const RunArtifact& current,
+                               const CompareOptions& opts);
+
+}  // namespace wimpi::bench
+
+#endif  // WIMPI_BENCH_ARTIFACT_H_

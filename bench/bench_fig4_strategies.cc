@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
   const wimpi::hw::CostModel model;
   const std::vector<std::string> profiles = {"op-e5", "op-gold", "pi3b+"};
 
+  // Modeled seconds per (profile, strategy, query), also the artifact rows:
+  // series "<profile>.<strategy>", metric "Q<n>".
+  std::map<std::string, std::map<std::string, double>> artifact_rows;
+
   std::cout << "FIGURE 4: execution strategies, modeled seconds at SF 1 "
                "(single-threaded)\n";
   for (const auto& prof_name : profiles) {
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
         RunStrategy(q, s, db, &stats);
         stats.Scale(scale);
         secs[s] = model.QuerySeconds(prof, stats, /*threads=*/1);
+        artifact_rows[prof_name + "." + StrategyName(s)]
+                     ["Q" + std::to_string(q)] = secs[s];
       }
       auto best = std::min_element(secs.begin(), secs.end(),
                                    [](const auto& a, const auto& b) {
@@ -87,5 +93,14 @@ int main(int argc, char** argv) {
       "  measured: mean data-centric/access-aware ratio op-e5 %.2fx vs Pi "
       "%.2fx (paper: advantage shrinks on the Pi)\n",
       e5_gain / n, pi_gain / n);
+
+  // --- Machine-readable artifact (--json=path) ---
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) {
+    wimpi::bench::RunArtifact artifact =
+        wimpi::bench::MakeArtifact("fig4_strategies", /*model_sf=*/1.0);
+    artifact.rows = std::move(artifact_rows);
+    if (!wimpi::bench::WriteArtifact(json_path, artifact)) return 1;
+  }
   return 0;
 }

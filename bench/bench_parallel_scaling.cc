@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +82,12 @@ int main(int argc, char** argv) {
               "hardware threads.\n\n",
               sf, reps, hc);
 
+  // Artifact rows: series = workload, metrics "t<threads>.seconds" /
+  // "t<threads>.speedup" (measured, noisy) and "t<threads>.model_scale"
+  // (CostModel::ComputeScale — deterministic, so named without the
+  // measured-metric markers and gated by the default tolerance).
+  std::map<std::string, std::map<std::string, double>> artifact_rows;
+
   int64_t sink = 0;
   for (const auto& w : workloads) {
     auto measure = [&](int threads) {
@@ -106,6 +113,11 @@ int main(int argc, char** argv) {
                 TablePrinter::Fixed(pt.measured_seconds, 4),
                 TablePrinter::Multiplier(pt.measured_speedup),
                 TablePrinter::Multiplier(pt.modeled_speedup)});
+      const std::string key = "t" + std::to_string(pt.threads);
+      auto& row = artifact_rows[w.name];
+      row[key + ".seconds"] = pt.measured_seconds;
+      row[key + ".speedup"] = pt.measured_speedup;
+      row[key + ".model_scale"] = pt.modeled_speedup;
     }
     t.Print(std::cout);
     std::cout << "\n";
@@ -116,5 +128,14 @@ int main(int argc, char** argv) {
                "pseudo-profile (sublinear law calibrated on the paper's "
                "Table II); microbenchmark kernels scale near-linearly "
                "instead — see bench_fig2_microbench --native=true.\n";
+
+  // --- Machine-readable artifact (--json=path) ---
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) {
+    wimpi::bench::RunArtifact artifact =
+        wimpi::bench::MakeArtifact("parallel_scaling", sf);
+    artifact.rows = std::move(artifact_rows);
+    if (!wimpi::bench::WriteArtifact(json_path, artifact)) return 1;
+  }
   return 0;
 }

@@ -20,10 +20,10 @@ int main(int argc, char** argv) {
   const double model_sf = 1.0;
 
   const wimpi::engine::Database db = LoadDb(physical_sf);
-  const auto stats =
+  const auto runs =
       CollectQueryStats(db, model_sf / physical_sf, AllQueryNumbers());
   const wimpi::hw::CostModel model;
-  const auto runtimes = ModelRuntimes(stats, model);
+  const auto runtimes = ModelRuntimes(runs, model);
 
   // --- Table II ---
   std::cout << "TABLE II: modeled runtimes (s) for SF 1\n";
@@ -104,16 +104,12 @@ int main(int argc, char** argv) {
       "paper: best Q11/Q16-class queries, worst Q1.\n",
       best_q, best, worst_q, worst);
 
-  // --- Machine-readable output (--json=path) ---
+  // --- Machine-readable artifact (--json=path) ---
   const std::string json_path = cli.GetString("json", "");
   if (!json_path.empty()) {
-    std::map<std::string, std::map<int, double>> rows;
-    for (const auto& p : wimpi::hw::AllProfiles()) {
-      for (int q = 1; q <= 22; ++q) {
-        rows[p.name][q] = runtimes.at(q).at(p.name);
-      }
-    }
-    WriteRuntimesJson(json_path, "table2_sf1", model_sf, rows);
+    const wimpi::bench::RunArtifact artifact =
+        RuntimesArtifact("table2_sf1", model_sf, runtimes, runs);
+    if (!WriteArtifact(json_path, artifact)) return 1;
   }
   return 0;
 }

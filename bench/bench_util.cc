@@ -2,13 +2,21 @@
 
 #include <chrono>
 #include <cstdio>
-#include <sstream>
 
-#include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
 namespace wimpi::bench {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 engine::Database LoadDb(double physical_sf, uint64_t seed) {
   std::fprintf(stderr, "[bench] generating TPC-H at physical SF %.3g ...\n",
@@ -27,26 +35,27 @@ engine::Database LoadDb(double physical_sf, uint64_t seed) {
   return db;
 }
 
-std::map<int, exec::QueryStats> CollectQueryStats(
+std::map<int, QueryRun> CollectQueryStats(
     const engine::Database& db, double scale,
     const std::vector<int>& queries) {
-  std::map<int, exec::QueryStats> out;
+  std::map<int, QueryRun> out;
   for (const int q : queries) {
-    exec::QueryStats stats;
-    tpch::RunQuery(q, db, &stats);
-    stats.Scale(scale);
-    out[q] = std::move(stats);
+    QueryRun run;
+    const double start = NowSeconds();
+    tpch::RunQuery(q, db, &run.stats);
+    run.wall_seconds = NowSeconds() - start;
+    run.stats.Scale(scale);
+    out[q] = std::move(run);
   }
   return out;
 }
 
 std::map<int, std::map<std::string, double>> ModelRuntimes(
-    const std::map<int, exec::QueryStats>& stats,
-    const hw::CostModel& model) {
+    const std::map<int, QueryRun>& runs, const hw::CostModel& model) {
   std::map<int, std::map<std::string, double>> out;
-  for (const auto& [q, s] : stats) {
+  for (const auto& [q, run] : runs) {
     for (const auto& p : hw::AllProfiles()) {
-      out[q][p.name] = model.QuerySeconds(p, s);
+      out[q][p.name] = model.QuerySeconds(p, run.stats);
     }
   }
   return out;
@@ -58,40 +67,22 @@ std::vector<int> AllQueryNumbers() {
   return qs;
 }
 
-bool WriteRuntimesJson(
-    const std::string& path, const std::string& bench_name, double model_sf,
-    const std::map<std::string, std::map<int, double>>& rows) {
-  std::ostringstream out;
-  out << "{\"bench\":\"" << obs::JsonEscape(bench_name)
-      << "\",\"model_sf\":" << model_sf << ",\"unit\":\"seconds\","
-      << "\"rows\":{";
-  bool first_row = true;
-  for (const auto& [name, by_query] : rows) {
-    if (!first_row) out << ",";
-    first_row = false;
-    out << "\"" << obs::JsonEscape(name) << "\":{";
-    bool first_q = true;
-    for (const auto& [q, seconds] : by_query) {
-      if (!first_q) out << ",";
-      first_q = false;
-      char buf[48];
-      std::snprintf(buf, sizeof(buf), "\"%d\":%.6g", q, seconds);
-      out << buf;
+RunArtifact RuntimesArtifact(
+    const std::string& bench_name, double model_sf,
+    const std::map<int, std::map<std::string, double>>& runtimes,
+    const std::map<int, QueryRun>& runs) {
+  RunArtifact a = MakeArtifact(bench_name, model_sf);
+  for (const auto& [q, by_profile] : runtimes) {
+    const std::string metric = "Q" + std::to_string(q);
+    for (const auto& [profile, seconds] : by_profile) {
+      a.rows[profile][metric] = seconds;
     }
-    out << "}";
   }
-  out << "}}\n";
-
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
-    return false;
+  for (const auto& [q, run] : runs) {
+    a.rows["host"]["Q" + std::to_string(q) + ".wall_seconds"] =
+        run.wall_seconds;
   }
-  const std::string s = out.str();
-  std::fwrite(s.data(), 1, s.size(), f);
-  std::fclose(f);
-  std::fprintf(stderr, "[bench] wrote runtimes JSON to %s\n", path.c_str());
-  return true;
+  return a;
 }
 
 }  // namespace wimpi::bench

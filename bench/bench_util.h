@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact.h"
 #include "engine/database.h"
 #include "exec/counters.h"
 #include "hw/cost_model.h"
@@ -15,26 +16,36 @@ namespace wimpi::bench {
 // Generates a TPC-H database at `physical_sf`, logging progress to stderr.
 engine::Database LoadDb(double physical_sf, uint64_t seed = 19921201);
 
+// One physically-executed query: its recorded (and scaled) work counters
+// plus the measured host wall time of the physical run. Wall seconds are
+// NOT scaled — they describe the host run at physical SF, and land in
+// artifacts as measured metrics (gated only with --wall-tol).
+struct QueryRun {
+  exec::QueryStats stats;
+  double wall_seconds = 0;
+};
+
 // Executes each listed query once against `db`, scales the recorded work
-// counters by `scale` (model SF / physical SF), and returns them.
-std::map<int, exec::QueryStats> CollectQueryStats(
+// counters by `scale` (model SF / physical SF), and returns them together
+// with the measured wall time of each physical execution.
+std::map<int, QueryRun> CollectQueryStats(
     const engine::Database& db, double scale, const std::vector<int>& queries);
 
 // Modeled runtime of each (query, profile) pair using all threads.
 std::map<int, std::map<std::string, double>> ModelRuntimes(
-    const std::map<int, exec::QueryStats>& stats, const hw::CostModel& model);
+    const std::map<int, QueryRun>& runs, const hw::CostModel& model);
 
 // All 22 query numbers.
 std::vector<int> AllQueryNumbers();
 
-// Writes modeled runtimes as machine-readable JSON, one object per row
-// (hardware profile or cluster size) keyed by query number:
-//   {"bench":"table2_sf1","model_sf":1,"unit":"seconds",
-//    "rows":{"pi3b+":{"1":2.27,"2":0.31,...},...}}
-// Returns false (and logs to stderr) when the file cannot be written.
-bool WriteRuntimesJson(
-    const std::string& path, const std::string& bench_name, double model_sf,
-    const std::map<std::string, std::map<int, double>>& rows);
+// Builds the standard runtime-bench artifact (schema in artifact.h): one
+// series per hardware profile with metric "Q<n>" = modeled seconds, plus a
+// "host" series with "Q<n>.wall_seconds" = measured wall time of the
+// physical run. Callers may add further series before WriteArtifact.
+RunArtifact RuntimesArtifact(
+    const std::string& bench_name, double model_sf,
+    const std::map<int, std::map<std::string, double>>& runtimes,
+    const std::map<int, QueryRun>& runs);
 
 }  // namespace wimpi::bench
 

@@ -1,0 +1,49 @@
+// Diffs two benchmark artifacts (the --json output of the runtime benches)
+// with noise-aware thresholds; exit code 0 = no regressions, 1 = regression
+// or structural mismatch, 2 = usage/read error. The CI bench-smoke stage
+// gates BENCH_*.json artifacts against committed baselines with this tool.
+//
+//   wimpi_bench_compare <baseline.json> <current.json>
+//       [--rel-tol 0.02]   relative tolerance for modeled metrics
+//       [--abs-floor 1e-6] ignore absolute differences below this
+//       [--wall-tol 0]     gate measured (wall/seconds/speedup) metrics;
+//                          0 leaves them informational (different hosts)
+//       [--allow-missing]  don't fail when baseline metrics disappeared
+#include <cstdio>
+#include <string>
+
+#include "artifact.h"
+#include "common/cli.h"
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  if (cli.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: wimpi_bench_compare <baseline.json> <current.json> "
+                 "[--rel-tol 0.02] [--wall-tol 0] [--abs-floor 1e-6] "
+                 "[--allow-missing]\n");
+    return 2;
+  }
+
+  wimpi::bench::RunArtifact base, current;
+  std::string error;
+  if (!wimpi::bench::ReadArtifact(cli.positional()[0], &base, &error)) {
+    std::fprintf(stderr, "baseline: %s\n", error.c_str());
+    return 2;
+  }
+  if (!wimpi::bench::ReadArtifact(cli.positional()[1], &current, &error)) {
+    std::fprintf(stderr, "current: %s\n", error.c_str());
+    return 2;
+  }
+
+  wimpi::bench::CompareOptions opts;
+  opts.rel_tol = cli.GetDouble("rel-tol", opts.rel_tol);
+  opts.abs_floor = cli.GetDouble("abs-floor", opts.abs_floor);
+  opts.wall_tol = cli.GetDouble("wall-tol", opts.wall_tol);
+  opts.fail_on_missing = !cli.GetBool("allow-missing", false);
+
+  const wimpi::bench::CompareResult result =
+      wimpi::bench::CompareArtifacts(base, current, opts);
+  std::printf("%s", result.Format().c_str());
+  return result.ok ? 0 : 1;
+}

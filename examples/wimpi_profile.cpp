@@ -9,8 +9,14 @@
 // Optionally dumps per-morsel/per-task spans as Chrome trace-event JSON
 // (chrome://tracing, ui.perfetto.dev) and the thread-pool latency metrics.
 //
+// With --perf, hardware counters (perf_event_open) are attached to the run:
+// the tree gains per-operator IPC / LLC-miss columns and a counter-residual
+// report compares measured instructions and DRAM traffic against the
+// abstract work counters. Degrades to "counters unavailable" where the PMU
+// is hidden (containers, VMs, perf_event_paranoid).
+//
 //   ./examples/wimpi_profile [--sf 0.1] [--q 1,6] [--threads 4]
-//                            [--trace trace.json] [--metrics]
+//                            [--trace trace.json] [--metrics] [--perf]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -52,6 +58,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.GetString("trace", "");
   const bool pool_metrics = cli.GetBool("metrics", false);
   const bool residuals = cli.GetBool("residual", true);
+  const bool perf = cli.GetBool("perf", false);
   const std::vector<int> queries = ParseQueries(cli.GetString("q", "1,6"));
 
   wimpi::tpch::GenOptions gen;
@@ -67,6 +74,12 @@ int main(int argc, char** argv) {
   wimpi::obs::ProfileOptions popts;
   popts.trace = !trace_path.empty();
   popts.pool_metrics = pool_metrics;
+  popts.perf_counters = perf;
+  if (perf && threads > 1) {
+    std::printf("note: perf counters only observe the profiling thread and "
+                "workers spawned after it; use --threads 1 for full "
+                "coverage.\n");
+  }
 
   const wimpi::hw::CostModel model;
   const wimpi::hw::HardwareProfile host = wimpi::hw::HostProfile();
@@ -87,6 +100,10 @@ int main(int argc, char** argv) {
       const wimpi::obs::ResidualReport report =
           wimpi::obs::CostModelResiduals(profile, model, host, threads);
       std::printf("%s", report.Format().c_str());
+    }
+    if (perf) {
+      std::printf("%s",
+                  wimpi::obs::CounterResiduals(profile).Format().c_str());
     }
   }
 

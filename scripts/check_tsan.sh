@@ -15,7 +15,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
   -DWIMPI_SANITIZE=thread
 
 cmake --build "${build_dir}" \
-  --target parallel_test parallel_queries_test obs_test obs_queries_test -j
+  --target parallel_test parallel_queries_test obs_test obs_queries_test \
+           obs_perf_test memory_tracker_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -29,5 +30,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # worker threads would surface here (profiled runs at every thread count).
 "${build_dir}/tests/obs_test"
 "${build_dir}/tests/obs_queries_test"
+# Perf-counter attach/detach around worker threads, and the MemoryTracker
+# concurrent used/peak accounting.
+"${build_dir}/tests/obs_perf_test"
+"${build_dir}/tests/memory_tracker_test"
 
 echo "TSan parallel + obs test pass: OK"

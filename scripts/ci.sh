@@ -1,25 +1,43 @@
 #!/usr/bin/env bash
-# Full CI pipeline: release build + complete ctest suite, then the
-# sanitizer passes (TSan over the parallel + observability tests, ASan over
-# everything). Each stage fails the script on the first error.
+# Full CI pipeline: release build + complete ctest suite, a bench-smoke +
+# artifact-regression stage (modeled runtimes gated against the committed
+# baseline), then the sanitizer passes (TSan over the parallel +
+# observability tests, ASan over everything). Each stage fails the script
+# on the first error.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
-#   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # plain build + tests only
+#   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # skip TSan/ASan stages
+#   WIMPI_CI_SKIP_BENCH=1 scripts/ci.sh        # skip the bench-smoke gate
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-echo "=== [1/3] build + tests ==="
+echo "=== [1/4] build + tests ==="
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure
 
+if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
+  echo "=== [2/4] bench smoke + artifact regression gate ==="
+  # Small physical SF keeps this a smoke run; the gated rows are modeled
+  # runtimes (deterministic: fixed dbgen seed x Table I profiles), so a
+  # committed baseline is stable across hosts. Wall times in the artifact
+  # are informational only (no --wall-tol).
+  artifact="${build_dir}/BENCH_table2_sf1.json"
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_table2_sf1" \
+    --physical-sf 0.01 --json "${artifact}" > /dev/null
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${repo_root}/bench/baselines/BENCH_table2_sf1.json" "${artifact}"
+else
+  echo "=== [2/4] bench stage skipped (WIMPI_CI_SKIP_BENCH=1) ==="
+fi
+
 if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "=== [2/3] ThreadSanitizer (parallel + obs) ==="
+  echo "=== [3/4] ThreadSanitizer (parallel + obs) ==="
   "${repo_root}/scripts/check_tsan.sh"
 
-  echo "=== [3/3] AddressSanitizer (full suite) ==="
+  echo "=== [4/4] AddressSanitizer (full suite) ==="
   "${repo_root}/scripts/check_asan.sh"
 else
   echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="

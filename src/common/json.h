@@ -1,0 +1,114 @@
+#ifndef WIMPI_COMMON_JSON_H_
+#define WIMPI_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wimpi {
+
+// Escapes a string for embedding in a JSON string literal (quotes,
+// backslashes, control characters). Shared by the trace exporter, the bench
+// artifact writer, and anything else that emits JSON by hand.
+std::string JsonEscape(const std::string& s);
+
+// Renders a double with the fewest digits that still parse back to the
+// same value (tries %.*g at increasing precision). Keeps artifacts both
+// diff-friendly and lossless for comparison tools.
+std::string JsonNumber(double v);
+
+// Minimal streaming JSON writer: handles commas, nesting, and escaping so
+// call sites never concatenate raw punctuation. Usage:
+//
+//   JsonWriter w;
+//   w.BeginObject().Key("bench").String("table2_sf1")
+//    .Key("rows").BeginArray().Int(1).Int(2).EndArray()
+//    .EndObject();
+//   w.str();  // {"bench":"table2_sf1","rows":[1,2]}
+//
+// Misuse (value without a pending key inside an object, EndArray closing an
+// object, ...) is a programming error and CHECK-fails.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+  // Splices pre-rendered JSON (e.g. a trace event's args object) as one
+  // value. The caller guarantees `json` is well formed.
+  JsonWriter& Raw(const std::string& json);
+
+  // Complete document; CHECK-fails while containers are still open.
+  const std::string& str() const;
+
+ private:
+  void BeforeValue();
+
+  struct Level {
+    char kind;  // '{' or '['
+    bool has_items = false;
+    bool pending_key = false;
+  };
+  std::string out_;
+  std::vector<Level> stack_;
+  bool done_ = false;
+};
+
+// Parsed JSON document: a tagged tree. Numbers are doubles (the artifact
+// schema stores nothing that needs 64-bit integer exactness beyond 2^53).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses `text` into `*out`. Returns false and fills `*error` (with a
+  // byte offset) on malformed input. Trailing garbage is an error.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error);
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  const std::vector<JsonValue>& AsArray() const { return arr_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return obj_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Typed convenience lookups with defaults.
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def) const;
+
+  // Construction helpers (tests, programmatic trees).
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string s);
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_JSON_H_

@@ -1,0 +1,269 @@
+#include "obs/perf_counters.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <cerrno>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace wimpi::obs {
+
+namespace {
+
+const char* const kEventNames[PerfCounts::kNumEvents] = {
+    "cycles",        "instructions", "llc_loads",
+    "llc_misses",    "branch_misses", "task_clock_ns",
+};
+
+bool PerfDisabledByEnv() {
+  const char* env = std::getenv("WIMPI_PERF_DISABLE");
+  return env != nullptr && env[0] == '1';
+}
+
+std::string HumanCount(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* PerfEventName(PerfEvent e) {
+  return kEventNames[static_cast<int>(e)];
+}
+
+bool PerfCounts::AnyAvailable() const {
+  for (const int64_t x : v) {
+    if (x >= 0) return true;
+  }
+  return false;
+}
+
+double PerfCounts::Ipc() const {
+  const int64_t cyc = Get(PerfEvent::kCycles);
+  const int64_t ins = Get(PerfEvent::kInstructions);
+  if (cyc <= 0 || ins < 0) return -1;
+  return static_cast<double>(ins) / static_cast<double>(cyc);
+}
+
+double PerfCounts::LlcMissRate() const {
+  const int64_t loads = Get(PerfEvent::kLlcLoads);
+  const int64_t misses = Get(PerfEvent::kLlcMisses);
+  if (loads <= 0 || misses < 0) return -1;
+  return static_cast<double>(misses) / static_cast<double>(loads);
+}
+
+double PerfCounts::DramBytes() const {
+  const int64_t misses = Get(PerfEvent::kLlcMisses);
+  if (misses < 0) return -1;
+  return static_cast<double>(misses) * kBytesPerLine;
+}
+
+double PerfCounts::GhzEffective() const {
+  const int64_t cyc = Get(PerfEvent::kCycles);
+  const int64_t ns = Get(PerfEvent::kTaskClockNs);
+  if (cyc < 0 || ns <= 0) return -1;
+  return static_cast<double>(cyc) / static_cast<double>(ns);
+}
+
+PerfCounts PerfCounts::Delta(const PerfCounts& since) const {
+  PerfCounts out;
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (v[i] >= 0 && since.v[i] >= 0) out.v[i] = v[i] - since.v[i];
+  }
+  return out;
+}
+
+PerfCounts& PerfCounts::Accumulate(const PerfCounts& other) {
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (other.v[i] < 0) continue;
+    v[i] = (v[i] < 0 ? 0 : v[i]) + other.v[i];
+  }
+  return *this;
+}
+
+std::string PerfCounts::Summary() const {
+  std::string out;
+  auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ", ";
+    out += part;
+  };
+  char buf[64];
+  if (Has(PerfEvent::kInstructions)) {
+    append(HumanCount(static_cast<double>(Get(PerfEvent::kInstructions))) +
+           " ins");
+  }
+  if (Ipc() >= 0) {
+    std::snprintf(buf, sizeof(buf), "IPC %.2f", Ipc());
+    append(buf);
+  }
+  if (LlcMissRate() >= 0) {
+    std::snprintf(buf, sizeof(buf), "LLC-miss %.1f%%", LlcMissRate() * 100);
+    append(buf);
+  } else if (Has(PerfEvent::kLlcMisses)) {
+    append(HumanCount(DramBytes()) + "B dram");
+  }
+  if (Has(PerfEvent::kBranchMisses)) {
+    append(HumanCount(static_cast<double>(Get(PerfEvent::kBranchMisses))) +
+           " br-miss");
+  }
+  if (Has(PerfEvent::kTaskClockNs)) {
+    std::snprintf(buf, sizeof(buf), "%.1fms task",
+                  static_cast<double>(Get(PerfEvent::kTaskClockNs)) * 1e-6);
+    append(buf);
+  }
+  return out;
+}
+
+#ifdef __linux__
+
+namespace {
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+EventSpec SpecFor(PerfEvent e) {
+  switch (e) {
+    case PerfEvent::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case PerfEvent::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case PerfEvent::kLlcLoads:
+      return {PERF_TYPE_HW_CACHE,
+              PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                  (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)};
+    case PerfEvent::kLlcMisses:
+      return {PERF_TYPE_HW_CACHE,
+              PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                  (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)};
+    case PerfEvent::kBranchMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES};
+    case PerfEvent::kTaskClockNs:
+    default:
+      return {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK};
+  }
+}
+
+int OpenEvent(PerfEvent e) {
+  const EventSpec spec = SpecFor(e);
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  // Aggregate threads spawned while counting (see class comment); this
+  // rules out PERF_FORMAT_GROUP, hence one fd per event.
+  attr.inherit = 1;
+  // perf_event_paranoid >= 2 (the common container default) only permits
+  // user-space self-measurement.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+}  // namespace
+
+bool PerfCounters::Open() {
+  Close();
+  if (PerfDisabledByEnv()) {
+    error_ = "disabled via WIMPI_PERF_DISABLE=1";
+    return false;
+  }
+  int first_errno = 0;
+  for (int i = 0; i < PerfCounts::kNumEvents; ++i) {
+    const int fd = OpenEvent(static_cast<PerfEvent>(i));
+    if (fd < 0) {
+      if (first_errno == 0) first_errno = errno;
+      continue;
+    }
+    fds_[i] = fd;
+    ++n_open_;
+  }
+  if (n_open_ == 0) {
+    error_ = std::string("perf_event_open failed: ") +
+             std::strerror(first_errno) +
+             " (PMU hidden by the container/VM, or perf_event_paranoid "
+             "too high)";
+    return false;
+  }
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+  }
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+  return true;
+}
+
+PerfCounts PerfCounters::Read() const {
+  PerfCounts out;
+  for (int i = 0; i < PerfCounts::kNumEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) == sizeof(value)) {
+      out.v[i] = static_cast<int64_t>(value);
+    }
+  }
+  return out;
+}
+
+void PerfCounters::Close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) {
+      close(fd);
+      fd = -1;
+    }
+  }
+  n_open_ = 0;
+  error_.clear();
+}
+
+#else  // !__linux__
+
+bool PerfCounters::Open() {
+  Close();
+  error_ = PerfDisabledByEnv()
+               ? "disabled via WIMPI_PERF_DISABLE=1"
+               : "perf_event_open is Linux-only";
+  return false;
+}
+
+PerfCounts PerfCounters::Read() const { return PerfCounts{}; }
+
+void PerfCounters::Close() {
+  n_open_ = 0;
+  error_.clear();
+}
+
+#endif  // __linux__
+
+bool PerfCounters::Available() {
+  PerfCounters probe;
+  return probe.Open();
+}
+
+std::string PerfCounters::AvailabilityNote() {
+  PerfCounters probe;
+  if (probe.Open()) return "";
+  return probe.error();
+}
+
+}  // namespace wimpi::obs

@@ -1,0 +1,116 @@
+#ifndef WIMPI_OBS_PERF_COUNTERS_H_
+#define WIMPI_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace wimpi::obs {
+
+// Hardware performance counters via perf_event_open(2). The paper's whole
+// method substitutes abstract work counters (exec::OpStats) for physical
+// ones; this module measures the physical side — cycles, instructions, LLC
+// traffic, branch misses, task time — so the substitution can be validated
+// on the host (obs::CounterResiduals) and per-operator micro-architectural
+// behaviour (IPC, LLC-miss rate) shows up in profile trees.
+//
+// Every event degrades independently: containers and VMs commonly expose
+// the syscall but no PMU (hardware events fail with ENOENT), and
+// perf_event_paranoid or seccomp can block everything. An unavailable
+// event reads as -1 and reports render "counters unavailable"; the engine
+// itself never behaves differently (enforced by obs_perf_test).
+
+// Slot index of each physical quantity in PerfCounts.
+enum class PerfEvent : int {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kBranchMisses,
+  kTaskClockNs,
+  kCount,
+};
+
+// Short stable name, e.g. "cycles", "llc_misses", "task_clock_ns".
+const char* PerfEventName(PerfEvent e);
+
+// One sample (or delta) of the counter set. -1 = event unavailable.
+struct PerfCounts {
+  static constexpr int kNumEvents = static_cast<int>(PerfEvent::kCount);
+  static constexpr int64_t kUnavailable = -1;
+  // Bytes moved per LLC miss (cache-line size assumed on every Table I
+  // machine and on any x86/arm host this runs on).
+  static constexpr double kBytesPerLine = 64.0;
+
+  std::array<int64_t, kNumEvents> v{
+      kUnavailable, kUnavailable, kUnavailable,
+      kUnavailable, kUnavailable, kUnavailable};
+
+  int64_t Get(PerfEvent e) const { return v[static_cast<int>(e)]; }
+  void Set(PerfEvent e, int64_t value) { v[static_cast<int>(e)] = value; }
+  bool Has(PerfEvent e) const { return Get(e) >= 0; }
+  bool AnyAvailable() const;
+
+  // Derived micro-architectural metrics; < 0 when the inputs are
+  // unavailable (or the denominator is zero).
+  double Ipc() const;          // instructions / cycles
+  double LlcMissRate() const;  // llc_misses / llc_loads, in [0, 1]
+  double DramBytes() const;    // llc_misses * 64 (DRAM-side traffic)
+  double GhzEffective() const; // cycles / task_clock_ns
+
+  // Element-wise difference / sum; unavailability is sticky (an event
+  // missing on either side stays -1).
+  PerfCounts Delta(const PerfCounts& since) const;
+  PerfCounts& Accumulate(const PerfCounts& other);
+
+  // Compact one-line rendering of the available subset, e.g.
+  // "1.2G ins, IPC 1.85, LLC-miss 12.3%, 42ms task". Empty when nothing
+  // is available.
+  std::string Summary() const;
+};
+
+// RAII owner of one perf_event_open fd per event, counting the calling
+// thread. Opened with inherit=1, so threads spawned while the counters are
+// live (e.g. a pool created on first use inside the measured region) are
+// aggregated into the parent counts — but workers that already existed are
+// not. For full physical coverage of a parallel query, profile at
+// num_threads=1; the counter-residual validation does exactly that.
+class PerfCounters {
+ public:
+  PerfCounters() = default;
+  ~PerfCounters() { Close(); }
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  // Opens and enables every event it can. Returns true when at least one
+  // event is counting; otherwise error() explains why (first errno seen).
+  // Honors WIMPI_PERF_DISABLE=1 (forces "unavailable", for tests and
+  // deterministic CI runs) and compiles to the unavailable path outside
+  // Linux.
+  bool Open();
+  bool open() const { return n_open_ > 0; }
+  int num_events_open() const { return n_open_; }
+  const std::string& error() const { return error_; }
+
+  // Current totals since Open(). Unavailable events read -1.
+  PerfCounts Read() const;
+
+  void Close();
+
+  // One-shot probe: can this process count at least one event right now?
+  // Not cached — WIMPI_PERF_DISABLE may change between calls in tests.
+  static bool Available();
+  // "" when available, else the reason counting is off (shared wording
+  // with profile trees: reports print "counters unavailable: <note>").
+  static std::string AvailabilityNote();
+
+ private:
+  std::array<int, PerfCounts::kNumEvents> fds_{-1, -1, -1, -1, -1, -1};
+  int n_open_ = 0;
+  std::string error_;
+};
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_PERF_COUNTERS_H_

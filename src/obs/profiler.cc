@@ -27,6 +27,10 @@ std::atomic<const char*> g_op_label{"plan"};
 thread_local bool t_owner = false;
 QueryProfile* g_profile = nullptr;
 ProfileNode* g_current = nullptr;
+// Live counter set of the active ScopedProfiling (nullptr when counters
+// were not requested or could not be opened). Only the owning thread reads
+// it, same single-owner discipline as the rest of the profiler state.
+PerfCounters* g_perf = nullptr;
 
 bool OwnerActive() {
   return g_active.load(std::memory_order_relaxed) && t_owner;
@@ -91,6 +95,13 @@ ScopedProfiling::ScopedProfiling(const ProfileOptions& opts,
   if (opts_.trace) TraceSink::Global().set_enabled(true);
   prev_pool_metrics_ = PoolMetricsEnabled();
   if (opts_.pool_metrics) SetPoolMetricsEnabled(true);
+  if (opts_.perf_counters) {
+    if (perf_.Open()) {
+      if (opts_.operator_profile) g_perf = &perf_;
+    } else {
+      out_->perf_note = "counters unavailable: " + perf_.error();
+    }
+  }
   start_us_ = NowMicros();
 }
 
@@ -98,6 +109,14 @@ ScopedProfiling::~ScopedProfiling() {
   const double wall = MicrosToSeconds(NowMicros() - start_us_);
   out_->wall_seconds = wall;
   out_->root.wall_seconds = wall;
+  if (perf_.open()) {
+    out_->perf = perf_.Read();
+    out_->perf_valid = out_->perf.AnyAvailable();
+    out_->root.perf = out_->perf;
+    out_->root.perf_valid = out_->perf_valid;
+    g_perf = nullptr;
+    perf_.Close();
+  }
   if (opts_.operator_profile) {
     internal::g_stats_hook_armed.store(false, std::memory_order_relaxed);
     g_active.store(false, std::memory_order_relaxed);
@@ -120,12 +139,17 @@ OpScope::OpScope(const char* name, int64_t rows_in) {
   g_current = node_;
   prev_label_ = g_op_label.load(std::memory_order_relaxed);
   g_op_label.store(name, std::memory_order_relaxed);
+  if (g_perf != nullptr) perf_start_ = g_perf->Read();
   start_us_ = NowMicros();
 }
 
 OpScope::~OpScope() {
   if (node_ == nullptr) return;
   node_->wall_seconds = MicrosToSeconds(NowMicros() - start_us_);
+  if (g_perf != nullptr) {
+    node_->perf = g_perf->Read().Delta(perf_start_);
+    node_->perf_valid = node_->perf.AnyAvailable();
+  }
   g_current = parent_;
   g_op_label.store(prev_label_, std::memory_order_relaxed);
 }
@@ -194,6 +218,12 @@ void FormatNode(const ProfileNode& n, const std::string& prefix, bool last,
     }
     out << "}";
   }
+  // The physical view of the same invocation (root totals print in the
+  // footer instead, next to the availability note).
+  if (!root && n.perf_valid) {
+    const std::string perf = n.perf.Summary();
+    if (!perf.empty()) out << "  (perf: " << perf << ")";
+  }
   out << "\n";
   const std::string child_prefix =
       root ? "" : prefix + (last ? "   " : "|  ");
@@ -217,6 +247,11 @@ std::string QueryProfile::FormatTree() const {
                 wall_seconds > 0 ? 100.0 * op_s / wall_seconds : 0.0,
                 (wall_seconds - op_s) * 1e3);
   out << buf;
+  if (perf_valid) {
+    out << "perf: " << perf.Summary() << "\n";
+  } else if (!perf_note.empty()) {
+    out << "perf: " << perf_note << "\n";
+  }
   return out.str();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/counters.h"
+#include "obs/perf_counters.h"
 
 namespace wimpi::obs {
 
@@ -24,6 +25,13 @@ struct ProfileOptions {
   // Enable the ThreadPool/TaskScheduler metric hooks (task latency, queue
   // wait, per-worker busy/idle) in MetricsRegistry::Global().
   bool pool_metrics = false;
+  // Count hardware events (cycles, instructions, LLC traffic, branch
+  // misses, task time) for the query and attribute per-operator deltas, so
+  // trees and reports show IPC and LLC-miss rate next to the abstract
+  // counters. Degrades gracefully: when perf_event_open cannot count
+  // (container, perf_event_paranoid, non-Linux, WIMPI_PERF_DISABLE=1) the
+  // run is bit-identical and reports say "counters unavailable".
+  bool perf_counters = false;
 };
 
 // One node of the profile tree: an operator invocation (or the query root).
@@ -40,6 +48,11 @@ struct ProfileNode {
   // Abstract work counters recorded while this scope was innermost — the
   // model-side view of the same invocation, side by side with wall time.
   std::vector<exec::OpStats> op_stats;
+  // Physical counters measured while this scope was open (inclusive of
+  // children, like wall_seconds). Valid only when ProfileOptions
+  // .perf_counters was on and at least one event could be counted.
+  bool perf_valid = false;
+  PerfCounts perf;
   std::vector<std::unique_ptr<ProfileNode>> children;
 
   double ChildSeconds() const;
@@ -53,6 +66,14 @@ struct ProfileNode {
 struct QueryProfile {
   ProfileNode root;  // root.name = label passed to ScopedProfiling
   double wall_seconds = 0;
+
+  // Whole-query physical counters (root.perf mirrors them). When
+  // ProfileOptions.perf_counters was requested but nothing could be
+  // counted, perf_valid is false and perf_note holds the reason; trees and
+  // reports then print "counters unavailable". Empty note = not requested.
+  bool perf_valid = false;
+  PerfCounts perf;
+  std::string perf_note;
 
   // Sum of wall seconds over the root's direct children (the top-level
   // operator invocations). The gap to `wall_seconds` is plan glue.
@@ -82,6 +103,7 @@ class ScopedProfiling {
   int64_t start_us_ = 0;
   bool prev_trace_ = false;
   bool prev_pool_metrics_ = false;
+  PerfCounters perf_;  // open only when opts_.perf_counters and available
 };
 
 // RAII operator scope. When no profiler is active (or the caller is not
@@ -106,6 +128,7 @@ class OpScope {
   ProfileNode* parent_ = nullptr;
   const char* prev_label_ = nullptr;
   int64_t start_us_ = 0;
+  PerfCounts perf_start_;  // read only when counters are live
 };
 
 // True while a ScopedProfiling with operator_profile is installed (any

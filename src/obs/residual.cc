@@ -121,4 +121,125 @@ std::string ResidualReport::Format() const {
   return out.str();
 }
 
+// ---------- Counter residuals ----------
+
+namespace {
+
+double Ratio(double num, double den) {
+  if (num < 0 || den <= 0) return -1;
+  return num / den;
+}
+
+// Physical counters of a subtree: the node's own inclusive counts when it
+// has them, else the sum over children (a parent whose scope closed before
+// counters were enabled never has counts, but its children might).
+PerfCounts SubtreePerf(const ProfileNode& n) {
+  if (n.perf_valid) return n.perf;
+  PerfCounts sum;
+  for (const auto& c : n.children) sum.Accumulate(SubtreePerf(*c));
+  return sum;
+}
+
+}  // namespace
+
+double CounterResidualEntry::InstructionsPerOp() const {
+  return Ratio(
+      static_cast<double>(perf.Get(PerfEvent::kInstructions)), compute_ops);
+}
+
+double CounterResidualEntry::DramPerSeqByte() const {
+  return Ratio(perf.DramBytes(), seq_bytes);
+}
+
+double CounterResidualReport::InstructionsPerOp() const {
+  return Ratio(static_cast<double>(total.Get(PerfEvent::kInstructions)),
+               total_compute_ops);
+}
+
+double CounterResidualReport::DramPerSeqByte() const {
+  return Ratio(total.DramBytes(), total_seq_bytes);
+}
+
+CounterResidualReport CounterResiduals(const QueryProfile& profile) {
+  CounterResidualReport report;
+  report.label = profile.root.name;
+  report.available = profile.perf_valid;
+  report.note = profile.perf_note;
+  report.total = profile.perf;
+  report.total_compute_ops = profile.root.TotalComputeOps();
+  report.total_seq_bytes = profile.root.TotalSeqBytes();
+  report.total_rand_count = profile.root.TotalRandCount();
+  for (const auto& child : profile.root.children) {
+    CounterResidualEntry e;
+    e.name = child->name;
+    e.compute_ops = child->TotalComputeOps();
+    e.seq_bytes = child->TotalSeqBytes();
+    e.rand_count = child->TotalRandCount();
+    e.perf = SubtreePerf(*child);
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+std::string CounterResidualReport::Format() const {
+  std::ostringstream out;
+  out << "Counter residuals for " << label
+      << " (measured hardware events vs abstract work counters)\n";
+  if (!available) {
+    out << "  "
+        << (note.empty() ? std::string("counters unavailable") : note)
+        << "\n";
+    return out.str();
+  }
+  char buf[220];
+  auto cell = [](double v, const char* fmt) {
+    char b[32];
+    if (v < 0) return std::string("-");
+    std::snprintf(b, sizeof(b), fmt, v);
+    return std::string(b);
+  };
+  std::snprintf(buf, sizeof(buf),
+                "  %-22s %12s %8s %10s %12s %12s %9s %9s\n", "operator",
+                "instructions", "IPC", "LLC-miss", "dram MB", "abs Mops",
+                "ins/op", "dram/seq");
+  out << buf;
+  auto line = [&](const std::string& name, const PerfCounts& p, double ops,
+                  double ins_per_op, double dram_per_seq) {
+    const double ins = static_cast<double>(p.Get(PerfEvent::kInstructions));
+    std::snprintf(
+        buf, sizeof(buf), "  %-22s %12s %8s %10s %12s %12s %9s %9s\n",
+        name.c_str(), cell(ins < 0 ? -1 : ins / 1e6, "%.1fM").c_str(),
+        cell(p.Ipc(), "%.2f").c_str(),
+        cell(p.LlcMissRate() < 0 ? -1 : p.LlcMissRate() * 100, "%.1f%%")
+            .c_str(),
+        cell(p.DramBytes() < 0 ? -1 : p.DramBytes() / 1e6, "%.1f").c_str(),
+        cell(ops / 1e6, "%.1f").c_str(),
+        cell(ins_per_op, "%.2f").c_str(),
+        cell(dram_per_seq, "%.2f").c_str());
+    out << buf;
+  };
+  for (const auto& e : entries) {
+    line(e.name, e.perf, e.compute_ops, e.InstructionsPerOp(),
+         e.DramPerSeqByte());
+  }
+  line("TOTAL", total, total_compute_ops, InstructionsPerOp(),
+       DramPerSeqByte());
+  out << "  (ins/op should cluster across operators; dram/seq >> 1 means "
+         "the abstract counters under-count traffic, << 1 means LLC "
+         "reuse)\n";
+  const int missing = [&] {
+    int m = 0;
+    for (int i = 0; i < PerfCounts::kNumEvents; ++i) {
+      if (!total.Has(static_cast<PerfEvent>(i))) ++m;
+    }
+    return m;
+  }();
+  if (missing > 0) {
+    out << "  (" << missing
+        << " event(s) unavailable on this host; '-' columns follow from "
+           "that)\n";
+  }
+  return out.str();
+}
+
 }  // namespace wimpi::obs

@@ -49,6 +49,49 @@ ResidualReport CostModelResiduals(const QueryProfile& profile,
                                   const hw::HardwareProfile& host,
                                   int threads);
 
+// Counter residuals: physical counters measured by perf_event_open against
+// the abstract work counters the cost model consumes — the end-to-end
+// validation of the repro's central substitution (OpStats for hardware
+// events). Per top-level operator and for the whole query it pairs
+//   measured instructions   vs  abstract compute_ops   -> instructions/op
+//   measured DRAM bytes     vs  abstract seq_bytes     -> dram/seq byte
+// (DRAM-side traffic estimated as LLC misses x 64B lines). A healthy
+// model shows instructions/op clustered across operators (the abstract
+// unit has one consistent physical exchange rate) and dram/seq near or
+// below 1 (streams mostly come from memory; far above 1 means the
+// abstract counters under-count traffic, far below means LLC reuse).
+struct CounterResidualEntry {
+  std::string name;  // top-level operator invocation (tree child)
+  double compute_ops = 0;  // subtree abstract totals
+  double seq_bytes = 0;
+  double rand_count = 0;
+  PerfCounts perf;  // subtree-inclusive physical counts
+
+  // < 0 when the needed counter was unavailable or the divisor is zero.
+  double InstructionsPerOp() const;
+  double DramPerSeqByte() const;
+};
+
+struct CounterResidualReport {
+  std::string label;
+  bool available = false;  // at least one physical counter was live
+  std::string note;        // unavailable reason ("" when available)
+  PerfCounts total;        // whole-query counters
+  double total_compute_ops = 0;
+  double total_seq_bytes = 0;
+  double total_rand_count = 0;
+  std::vector<CounterResidualEntry> entries;
+
+  double InstructionsPerOp() const;
+  double DramPerSeqByte() const;
+  std::string Format() const;
+};
+
+// Builds the counter-residual report from a profile collected with
+// ProfileOptions.perf_counters. When counters were unavailable the report
+// carries the note and Format() renders "counters unavailable".
+CounterResidualReport CounterResiduals(const QueryProfile& profile);
+
 }  // namespace wimpi::obs
 
 #endif  // WIMPI_OBS_RESIDUAL_H_

@@ -1,8 +1,8 @@
 #include "obs/trace.h"
 
 #include <cstdio>
-#include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "obs/clock.h"
 
@@ -54,55 +54,24 @@ std::vector<TraceEvent> TraceSink::Snapshot() const {
   return events_;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string TraceSink::ToJson() const {
   const std::vector<TraceEvent> events = Snapshot();
-  std::ostringstream out;
-  out << "{\"traceEvents\":[";
-  bool first = true;
+  JsonWriter w;
+  w.BeginObject().Key("traceEvents").BeginArray();
   for (const TraceEvent& e : events) {
-    if (!first) out << ",";
-    first = false;
-    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
-        << e.category << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
-        << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid;
-    if (!e.args_json.empty()) out << ",\"args\":" << e.args_json;
-    out << "}";
+    w.BeginObject()
+        .Key("name").String(e.name)
+        .Key("cat").String(e.category)
+        .Key("ph").String("X")
+        .Key("ts").Int(e.ts_us)
+        .Key("dur").Int(e.dur_us)
+        .Key("pid").Int(1)
+        .Key("tid").Int(e.tid);
+    if (!e.args_json.empty()) w.Key("args").Raw(e.args_json);
+    w.EndObject();
   }
-  out << "],\"displayTimeUnit\":\"ms\"}";
-  return out.str();
+  w.EndArray().Key("displayTimeUnit").String("ms").EndObject();
+  return w.str();
 }
 
 bool TraceSink::WriteFile(const std::string& path) const {

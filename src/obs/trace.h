@@ -61,10 +61,6 @@ class TraceSink {
   std::vector<TraceEvent> events_;
 };
 
-// Escapes a string for embedding in a JSON string literal (quotes,
-// backslashes, control characters). Shared by the trace and bench writers.
-std::string JsonEscape(const std::string& s);
-
 // RAII span: records a complete event on destruction when the sink was
 // enabled at construction. Cheap no-op otherwise.
 class TraceSpan {

@@ -1,6 +1,7 @@
 #ifndef WIMPI_STORAGE_MEMORY_TRACKER_H_
 #define WIMPI_STORAGE_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -13,6 +14,11 @@ namespace wimpi::storage {
 // does not fail the (host-side) execution but is recorded so the hardware
 // model can apply the microSD spill penalty the paper observed, and so the
 // "swap disabled" failure mode can be simulated (Section III-C4).
+//
+// Thread-safe: morsel-parallel operators consume/release from pool workers
+// concurrently. `peak` is maintained with a CAS loop, so it never
+// under-reports a momentary high-water mark, though under concurrent
+// Consume/Release it reflects one linearization of the updates.
 class MemoryTracker {
  public:
   // budget_bytes <= 0 means unlimited.
@@ -20,26 +26,33 @@ class MemoryTracker {
       : budget_(budget_bytes) {}
 
   void Consume(int64_t bytes) {
-    used_ += bytes;
-    if (used_ > peak_) peak_ = used_;
+    const int64_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now,
+                                        std::memory_order_relaxed)) {
+    }
   }
-  void Release(int64_t bytes) { used_ -= bytes; }
+  void Release(int64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 
-  int64_t used() const { return used_; }
-  int64_t peak() const { return peak_; }
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
   int64_t budget() const { return budget_; }
 
-  bool over_budget() const { return budget_ > 0 && used_ > budget_; }
+  bool over_budget() const { return budget_ > 0 && used() > budget_; }
   // Peak overshoot relative to the budget; 0 when within budget.
   int64_t PeakOvershoot() const {
-    if (budget_ <= 0 || peak_ <= budget_) return 0;
-    return peak_ - budget_;
+    if (budget_ <= 0 || peak() <= budget_) return 0;
+    return peak() - budget_;
   }
 
   // Error for callers that treat over-budget as fatal (swap disabled).
   Status CheckBudget(const std::string& what) const {
     if (over_budget()) {
-      return Status::OutOfMemory(what + ": " + std::to_string(used_) +
+      return Status::OutOfMemory(what + ": " + std::to_string(used()) +
                                  " bytes used, budget " +
                                  std::to_string(budget_));
     }
@@ -47,14 +60,14 @@ class MemoryTracker {
   }
 
   void Reset() {
-    used_ = 0;
-    peak_ = 0;
+    used_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
 
  private:
   int64_t budget_;
-  int64_t used_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 }  // namespace wimpi::storage

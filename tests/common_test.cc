@@ -4,6 +4,7 @@
 #include "common/date.h"
 #include "common/decimal.h"
 #include "common/hash.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
@@ -210,6 +211,90 @@ TEST(CommandLineTest, ParsesFlagsAndPositional) {
   EXPECT_EQ(cli.GetString("missing", "d"), "d");
   ASSERT_EQ(cli.positional().size(), 1u);
   EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+// ---------- json ----------
+
+TEST(JsonTest, Escape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonTest, NumberRoundTripsShortest) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  // Shortest representation that parses back exactly.
+  for (const double d : {0.1, 1.0 / 3.0, 12345.6789, 1e-9, 2.5e20}) {
+    EXPECT_DOUBLE_EQ(std::stod(JsonNumber(d)), d);
+  }
+  EXPECT_EQ(JsonNumber(0.1), "0.1");  // not 0.10000000000000001
+}
+
+TEST(JsonTest, WriterProducesValidNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("q\"1\"");
+  w.Key("n").Int(42);
+  w.Key("x").Double(0.5);
+  w.Key("ok").Bool(true);
+  w.Key("none").Null();
+  w.Key("arr").BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.Key("obj").BeginObject();
+  w.Key("k").String("v");
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"q\\\"1\\\"\",\"n\":42,\"x\":0.5,\"ok\":true,"
+            "\"none\":null,\"arr\":[1,2],\"obj\":{\"k\":\"v\"}}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\nb");
+  w.Key("d").Double(0.25);
+  w.Key("list").BeginArray();
+  w.Double(1);
+  w.Double(2.5);
+  w.EndArray();
+  w.EndObject();
+
+  std::string error;
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &v, &error)) << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.GetString("s", ""), "a\nb");
+  EXPECT_DOUBLE_EQ(v.GetDouble("d", -1), 0.25);
+  const JsonValue* list = v.Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(list->AsArray()[1].AsDouble(), 2.5);
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  std::string error;
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("[1,2", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("{} trailing", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  std::string error;
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse("\"a\\u00e9b\"", &v, &error)) << error;
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "a\xc3\xa9\x62");  // e-acute as UTF-8
 }
 
 }  // namespace

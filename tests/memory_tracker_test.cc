@@ -1,0 +1,99 @@
+// MemoryTracker concurrency: used/peak accounting must stay exact under
+// concurrent Consume/Release from pool-worker-like threads.
+#include "storage/memory_tracker.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace wimpi::storage {
+namespace {
+
+TEST(MemoryTracker, SingleThreadedBasics) {
+  MemoryTracker t(/*budget_bytes=*/100);
+  t.Consume(60);
+  EXPECT_EQ(t.used(), 60);
+  EXPECT_EQ(t.peak(), 60);
+  EXPECT_FALSE(t.over_budget());
+  t.Consume(60);
+  EXPECT_TRUE(t.over_budget());
+  EXPECT_EQ(t.PeakOvershoot(), 20);
+  EXPECT_FALSE(t.CheckBudget("probe").ok());
+  t.Release(120);
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), 120);  // peak is sticky
+  EXPECT_FALSE(t.over_budget());
+  t.Reset();
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), 0);
+}
+
+TEST(MemoryTracker, ConcurrentConsumeReleaseBalancesToZero) {
+  MemoryTracker t;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  constexpr int64_t kChunk = 64;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&t] {
+      for (int j = 0; j < kIters; ++j) {
+        t.Consume(kChunk);
+        t.Release(kChunk);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(t.used(), 0);
+  // Every thread held kChunk at some point, so peak is at least kChunk and
+  // at most everything held at once.
+  EXPECT_GE(t.peak(), kChunk);
+  EXPECT_LE(t.peak(), kThreads * kChunk);
+}
+
+TEST(MemoryTracker, ConcurrentPeakNeverUnderReports) {
+  // Each thread holds its full allocation before anyone releases, so the
+  // true high-water mark is exactly kThreads * kPerThread; the CAS loop
+  // must not lose it.
+  MemoryTracker t;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 1 << 20;
+  std::atomic<int> holding{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&t, &holding] {
+      t.Consume(kPerThread);
+      holding.fetch_add(1);
+      while (holding.load() < kThreads) std::this_thread::yield();
+      t.Release(kPerThread);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), kThreads * kPerThread);
+}
+
+TEST(MemoryTracker, ConcurrentNetGrowthIsExact) {
+  MemoryTracker t(/*budget_bytes=*/1);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&t] {
+      for (int j = 0; j < kIters; ++j) {
+        t.Consume(3);
+        t.Release(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const int64_t expected = int64_t{kThreads} * kIters * 2;
+  EXPECT_EQ(t.used(), expected);
+  EXPECT_GE(t.peak(), expected);
+  EXPECT_TRUE(t.over_budget());
+  EXPECT_GE(t.PeakOvershoot(), expected - 1);
+}
+
+}  // namespace
+}  // namespace wimpi::storage

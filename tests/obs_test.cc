@@ -103,14 +103,8 @@ TEST(Metrics, RegistryStableReferencesAndReset) {
 }
 
 // ---------- Trace ----------
-
-TEST(Trace, JsonEscape) {
-  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
-  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
-  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
-  EXPECT_EQ(obs::JsonEscape("a\nb"), "a\\nb");
-  EXPECT_EQ(obs::JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
-}
+// (JSON escaping itself is covered in common_test.cc; the escape helper
+// lives in common/json.h now.)
 
 TEST(Trace, DisabledSinkRecordsNothing) {
   auto& sink = obs::TraceSink::Global();

@@ -34,12 +34,12 @@ int main(int argc, char** argv) {
       on.num_nodes = nodes;
       on.sf_scale = 10.0 / physical_sf;
       const auto run_on =
-          wimpi::cluster::WimpiCluster(db, on).Run(q, model);
+          wimpi::cluster::WimpiCluster(db, on).Run(q, model).value();
 
       wimpi::cluster::ClusterOptions off = on;
       off.thrash_factor = 0.0;
       const auto run_off =
-          wimpi::cluster::WimpiCluster(db, off).Run(q, model);
+          wimpi::cluster::WimpiCluster(db, off).Run(q, model).value();
 
       row.push_back(TablePrinter::Fixed(run_on.total_seconds, 3));
       row.push_back(TablePrinter::Fixed(run_off.total_seconds, 3));

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     const wimpi::cluster::WimpiCluster wimpi(db, opts);
     std::vector<std::string> row = {std::to_string(nodes)};
     for (const int q : queries) {
-      const double pi_time = wimpi.Run(q, model).total_seconds;
+      const double pi_time = wimpi.Run(q, model).value().total_seconds;
       const auto* e5 = onprem[0];
       row.push_back(TablePrinter::Multiplier(
           Improvement(sf10.at(q).at(e5->name), ServerMsrp(*e5), pi_time,

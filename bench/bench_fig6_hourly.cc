@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   const wimpi::cluster::WimpiCluster wimpi(db, opts);
   std::map<int, double> wimpi_time;
   for (const int q : queries) {
-    wimpi_time[q] = wimpi.Run(q, model).total_seconds;
+    wimpi_time[q] = wimpi.Run(q, model).value().total_seconds;
   }
 
   std::vector<std::string> header = {"Instance"};

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
     const wimpi::cluster::WimpiCluster wimpi(db, opts);
     std::vector<std::string> row = {std::to_string(nodes)};
     for (const int q : queries) {
-      const double pi_s = wimpi.Run(q, model).total_seconds;
+      const double pi_s = wimpi.Run(q, model).value().total_seconds;
       const double imp =
           ServerEnergyJoules(*onprem[0], sf10.at(q).at("op-e5")) /
           PiClusterEnergyJoules(nodes, pi_s);

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     Option o;
     o.name = "wimpi-" + std::to_string(nodes);
     for (const int q : workload) {
-      o.runtime_s += wimpi.Run(q, model).total_seconds;
+      o.runtime_s += wimpi.Run(q, model).value().total_seconds;
     }
     o.purchase_usd = wimpi::analysis::PiClusterMsrp(nodes);
     o.hourly_usd = wimpi::analysis::PiClusterHourly(nodes);

@@ -16,7 +16,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" \
   --target parallel_test parallel_queries_test obs_test obs_queries_test \
-           obs_perf_test memory_tracker_test -j
+           obs_perf_test memory_tracker_test fault_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -34,5 +34,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # concurrent used/peak accounting.
 "${build_dir}/tests/obs_perf_test"
 "${build_dir}/tests/memory_tracker_test"
+# Fault injection + recovery (cancellation tokens racing against morsel
+# workers, retries/reassignment over the real parallel partial plans).
+"${build_dir}/tests/fault_test"
 
 echo "TSan parallel + obs test pass: OK"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full CI pipeline: release build + complete ctest suite, a bench-smoke +
 # artifact-regression stage (modeled runtimes gated against the committed
-# baseline), then the sanitizer passes (TSan over the parallel +
-# observability tests, ASan over everything). Each stage fails the script
-# on the first error.
+# baseline), a fault-injection smoke run under a fixed seed (degraded-mode
+# runtimes and recovery counters gated the same way), then the sanitizer
+# passes (TSan over the parallel + observability + fault tests, ASan over
+# everything). Each stage fails the script on the first error.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 #   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # skip TSan/ASan stages
@@ -13,13 +14,13 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-echo "=== [1/4] build + tests ==="
+echo "=== [1/5] build + tests ==="
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure
 
 if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "=== [2/4] bench smoke + artifact regression gate ==="
+  echo "=== [2/5] bench smoke + artifact regression gate ==="
   # Small physical SF keeps this a smoke run; the gated rows are modeled
   # runtimes (deterministic: fixed dbgen seed x Table I profiles), so a
   # committed baseline is stable across hosts. Wall times in the artifact
@@ -29,15 +30,25 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     --physical-sf 0.01 --json "${artifact}" > /dev/null
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table2_sf1.json" "${artifact}"
+
+  echo "=== [3/5] fault-injection smoke + regression gate ==="
+  # Same idea under a fixed fault seed: the degraded-mode runtimes and
+  # recovery counters are pure functions of (dbgen seed, cost model, fault
+  # seed), so they regress against a committed baseline like clean runs.
+  fault_artifact="${build_dir}/BENCH_table3_faults.json"
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_table3_sf10" \
+    --physical-sf 0.01 --faults 42 --json "${fault_artifact}" > /dev/null
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${repo_root}/bench/baselines/BENCH_table3_faults.json" "${fault_artifact}"
 else
-  echo "=== [2/4] bench stage skipped (WIMPI_CI_SKIP_BENCH=1) ==="
+  echo "=== bench stages skipped (WIMPI_CI_SKIP_BENCH=1) ==="
 fi
 
 if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "=== [3/4] ThreadSanitizer (parallel + obs) ==="
+  echo "=== [4/5] ThreadSanitizer (parallel + obs + faults) ==="
   "${repo_root}/scripts/check_tsan.sh"
 
-  echo "=== [4/4] AddressSanitizer (full suite) ==="
+  echo "=== [5/5] AddressSanitizer (full suite) ==="
   "${repo_root}/scripts/check_asan.sh"
 else
   echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="

@@ -1,0 +1,169 @@
+#include "cluster/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace wimpi::cluster {
+
+namespace {
+
+std::string Fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kSlowdown:
+      return "slowdown";
+    case FaultKind::kNetworkStall:
+      return "net-stall";
+    case FaultKind::kTransient:
+      return "transient";
+  }
+  return "unknown";
+}
+
+const NodeFault* FaultPlan::FaultFor(int node) const {
+  for (const NodeFault& f : faults) {
+    if (f.node == node) return &f;
+  }
+  return nullptr;
+}
+
+FaultPlan FaultPlan::Generate(uint64_t seed, int num_nodes) {
+  WIMPI_CHECK_GT(num_nodes, 0);
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+
+  // 1..max(1, num_nodes/4) faulted nodes: a handful on the paper's 24-node
+  // fleet, never the whole cluster.
+  const int max_faults = std::max(1, num_nodes / 4);
+  const int n_faults = static_cast<int>(rng.Uniform(1, max_faults));
+
+  // Distinct victim nodes, drawn without replacement.
+  std::vector<int> victims;
+  victims.reserve(n_faults);
+  while (static_cast<int>(victims.size()) < n_faults) {
+    const int node = static_cast<int>(rng.Uniform(0, num_nodes - 1));
+    if (std::find(victims.begin(), victims.end(), node) == victims.end()) {
+      victims.push_back(node);
+    }
+  }
+
+  int crashes = 0;
+  for (const int node : victims) {
+    NodeFault f;
+    f.node = node;
+    FaultKind kind = static_cast<FaultKind>(rng.Uniform(0, 3));
+    // A generated plan must stay recoverable: leave at least one node that
+    // never crashes.
+    if (kind == FaultKind::kCrash && crashes + 1 >= num_nodes) {
+      kind = FaultKind::kTransient;
+    }
+    f.kind = kind;
+    switch (kind) {
+      case FaultKind::kCrash:
+        ++crashes;
+        break;
+      case FaultKind::kSlowdown:
+        // 2x..16x: from mild throttling to a nearly wedged card.
+        f.slowdown = 2.0 + 14.0 * rng.NextDouble();
+        break;
+      case FaultKind::kNetworkStall:
+        // 50 ms .. 2 s on the shared USB bus, clearing after 1-2 attempts.
+        f.stall_seconds = 0.05 + 1.95 * rng.NextDouble();
+        f.fail_attempts = static_cast<int>(rng.Uniform(1, 2));
+        break;
+      case FaultKind::kTransient:
+        f.fail_attempts = static_cast<int>(rng.Uniform(1, 3));
+        break;
+    }
+    plan.faults.push_back(f);
+  }
+  // Canonical node order so reports and artifacts are stable regardless of
+  // draw order.
+  std::sort(plan.faults.begin(), plan.faults.end(),
+            [](const NodeFault& a, const NodeFault& b) {
+              return a.node < b.node;
+            });
+  return plan;
+}
+
+FaultPlan FaultPlan::Crash(std::vector<int> nodes) {
+  FaultPlan plan;
+  for (const int n : nodes) {
+    NodeFault f;
+    f.node = n;
+    f.kind = FaultKind::kCrash;
+    plan.faults.push_back(f);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::Slowdown(int node, double factor) {
+  FaultPlan plan;
+  NodeFault f;
+  f.node = node;
+  f.kind = FaultKind::kSlowdown;
+  f.slowdown = factor;
+  plan.faults.push_back(f);
+  return plan;
+}
+
+FaultPlan FaultPlan::NetworkStall(int node, double stall_seconds,
+                                  int fail_attempts) {
+  FaultPlan plan;
+  NodeFault f;
+  f.node = node;
+  f.kind = FaultKind::kNetworkStall;
+  f.stall_seconds = stall_seconds;
+  f.fail_attempts = fail_attempts;
+  plan.faults.push_back(f);
+  return plan;
+}
+
+FaultPlan FaultPlan::Transient(int node, int fail_attempts) {
+  FaultPlan plan;
+  NodeFault f;
+  f.node = node;
+  f.kind = FaultKind::kTransient;
+  f.fail_attempts = fail_attempts;
+  plan.faults.push_back(f);
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  if (faults.empty()) return "no faults";
+  std::string out;
+  for (const NodeFault& f : faults) {
+    if (!out.empty()) out += "; ";
+    out += "node " + std::to_string(f.node) + ": " + FaultKindName(f.kind);
+    switch (f.kind) {
+      case FaultKind::kCrash:
+        break;
+      case FaultKind::kSlowdown:
+        out += " x" + Fmt1(f.slowdown);
+        break;
+      case FaultKind::kNetworkStall:
+        out += " " + Fmt1(f.stall_seconds * 1e3) + "ms x" +
+               std::to_string(f.fail_attempts);
+        break;
+      case FaultKind::kTransient:
+        out += " x" + std::to_string(f.fail_attempts);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace wimpi::cluster

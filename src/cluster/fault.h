@@ -1,0 +1,83 @@
+#ifndef WIMPI_CLUSTER_FAULT_H_
+#define WIMPI_CLUSTER_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wimpi::cluster {
+
+// Deterministic fault injection for the simulated WIMPI cluster. A
+// FaultPlan is data, not behaviour: it names which nodes misbehave and
+// how, and the recovery driver in WimpiCluster::Run interprets it against
+// modeled time. Nothing here reads a wall clock or a global RNG — the same
+// plan against the same database always produces the same DistributedRun,
+// byte for byte (the repo's determinism rule).
+//
+// The four kinds mirror what the paper's $35-SBC fleet actually suffers:
+// microSD cards killing nodes outright, thermally throttled stragglers,
+// the shared-USB network hiccuping, and nodes that drop out and come back.
+
+enum class FaultKind {
+  // Node dies at its first phase boundary and never comes back. Attempts
+  // observe kUnavailable after half the partition's modeled work (scan
+  // done, aggregate lost) and the partition is reassigned to a survivor.
+  kCrash,
+  // Node runs but every attempt takes `slowdown` times the modeled work
+  // (thermal throttling / a worn card). Attempts that blow the modeled
+  // deadline are abandoned (kDeadlineExceeded) and retried or reassigned.
+  kSlowdown,
+  // The node computes at full speed but its link stalls for
+  // `stall_seconds` on delivery, for the first `fail_attempts` attempts;
+  // afterwards the link recovers (a transient shared-USB hiccup).
+  kNetworkStall,
+  // Node fails its first `fail_attempts` attempts outright (kUnavailable
+  // after half the modeled work), then recovers and serves normally.
+  kTransient,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct NodeFault {
+  int node = 0;
+  FaultKind kind = FaultKind::kCrash;
+  // kSlowdown: per-attempt multiplier on the node's modeled work (> 1).
+  double slowdown = 1.0;
+  // kNetworkStall: seconds the delivery stalls (modeled, added to the
+  // attempt's duration).
+  double stall_seconds = 0.0;
+  // kTransient / kNetworkStall: number of leading attempts affected.
+  int fail_attempts = 1;
+};
+
+struct FaultPlan {
+  // The seed the plan was generated from (0 for hand-built plans);
+  // carried for reporting and artifact output.
+  uint64_t seed = 0;
+  std::vector<NodeFault> faults;  // at most one entry per node
+
+  bool empty() const { return faults.empty(); }
+  // The fault injected on `node`, or nullptr when the node is healthy.
+  const NodeFault* FaultFor(int node) const;
+
+  // Deterministically derives a fault scenario from a single seed: how
+  // many nodes misbehave, which ones, each kind and its magnitude all come
+  // from one Rng(seed) stream. Crashes are capped at num_nodes - 1 so a
+  // generated plan always leaves at least one live node (recoverable by
+  // construction). Same (seed, num_nodes) => identical plan, always.
+  static FaultPlan Generate(uint64_t seed, int num_nodes);
+
+  // Convenience builders for tests and benches.
+  static FaultPlan Crash(std::vector<int> nodes);
+  static FaultPlan Slowdown(int node, double factor);
+  static FaultPlan NetworkStall(int node, double stall_seconds,
+                                int fail_attempts = 1);
+  static FaultPlan Transient(int node, int fail_attempts = 1);
+
+  // One line per fault, e.g. "node 7: slowdown x8".
+  std::string ToString() const;
+};
+
+}  // namespace wimpi::cluster
+
+#endif  // WIMPI_CLUSTER_FAULT_H_

@@ -1,9 +1,16 @@
 #include "cluster/wimpi_cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "cluster/partials.h"
 #include "cluster/partition.h"
+#include "exec/exec_options.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/cancellation.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -40,10 +47,57 @@ double WimpiCluster::NodeLogicalBytes(double model_sf) const {
          tpch::LogicalTableBytes("lineitem", model_sf) / opts_.num_nodes;
 }
 
-DistributedRun WimpiCluster::Run(int q, const hw::CostModel& model) const {
+namespace {
+
+// Cached real execution of one lineitem partition's partial plan. The
+// partition's data and plan are fixed (deterministic hash ranges + replicas
+// physically shared in host memory), so its relation and counters are
+// identical whichever node the fault schedule runs it on: the partial
+// executes once and failed/retried attempts are modeled from the cache.
+struct PartitionExec {
+  bool done = false;
+  exec::Relation partial;
+  double work_s = 0;  // modeled local work, spill included
+  double spill_s = 0;
+  double working_set = 0;
+};
+
+// Emits the per-attempt timeline as Chrome trace-event spans on modeled
+// time (microseconds of simulated node clock), one row per node.
+void TraceAttempts(int q, const std::vector<AttemptRecord>& attempts) {
+  auto& sink = obs::TraceSink::Global();
+  for (const AttemptRecord& a : attempts) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "Q%d p%d try%d", q, a.partition,
+                  a.attempt);
+    char args[160];
+    std::snprintf(args, sizeof(args),
+                  "{\"partition\":%d,\"node\":%d,\"attempt\":%d,"
+                  "\"outcome\":\"%s\"}",
+                  a.partition, a.node, a.attempt,
+                  Status::CodeName(a.outcome).c_str());
+    sink.RecordComplete(name, "cluster",
+                        static_cast<int64_t>(a.start_seconds * 1e6),
+                        static_cast<int64_t>((a.end_seconds - a.start_seconds) *
+                                             1e6),
+                        args);
+  }
+}
+
+}  // namespace
+
+Result<DistributedRun> WimpiCluster::Run(int q,
+                                         const hw::CostModel& model) const {
+  if (!tpch::InSf10Subset(q)) {
+    std::string msg = "Q";
+    msg += std::to_string(q);
+    msg += " is not in the distributed subset {1,3,4,5,6,13,14,19}";
+    return Status::InvalidArgument(std::move(msg));
+  }
   const hw::HardwareProfile& pi = hw::PiProfile();
   const bool fan_out = QueryFansOut(q);
   const int nodes = fan_out ? opts_.num_nodes : 1;
+  const FaultPlan& plan = opts_.faults;
 
   DistributedRun run;
   run.nodes_used = nodes;
@@ -55,36 +109,199 @@ DistributedRun WimpiCluster::Run(int q, const hw::CostModel& model) const {
     return r.num_rows() > 100 ? bytes * opts_.sf_scale : bytes;
   };
 
-  std::vector<exec::Relation> partials;
-  partials.reserve(nodes);
-  for (int i = 0; i < nodes; ++i) {
+  // ---- Real execution per partition (lazy: a query abandoned mid-way
+  // never executes the remaining partitions, and the cancellation token
+  // stops any in-flight morsel loop of the current one promptly). ----
+  std::vector<PartitionExec> parts(nodes);
+  parallel::CancellationToken cancel;
+  auto ensure_exec = [&](int p) -> const PartitionExec& {
+    PartitionExec& pe = parts[p];
+    if (pe.done) return pe;
     exec::QueryStats stats;
-    exec::Relation partial = RunPartial(q, node_dbs_[i], &stats);
+    if (plan.empty()) {
+      pe.partial = RunPartial(q, node_dbs_[p], &stats);
+    } else {
+      exec::ExecOptions eopts = exec::CurrentExecOptions();
+      eopts.cancellation = &cancel;
+      exec::ScopedExecOptions scope(eopts);
+      pe.partial = RunPartial(q, node_dbs_[p], &stats);
+    }
     stats.Scale(opts_.sf_scale);
-
-    double node_s =
-        model.WorkSeconds(pi, stats, opts_.threads_per_node);
+    pe.work_s = model.WorkSeconds(pi, stats, opts_.threads_per_node);
 
     // Memory-pressure model: when the touched working set exceeds node
     // memory, the overshoot pages through the microSD card (the paper's
     // thrashing failure mode, Section III-C4).
-    const double working_set =
-        stats.BaseTouchedBytes() + stats.peak_intermediate_bytes;
+    pe.working_set = stats.BaseTouchedBytes() + stats.peak_intermediate_bytes;
     const double overshoot =
-        std::max(0.0, working_set - opts_.node_memory_bytes);
-    const double spill_s = overshoot * opts_.thrash_factor /
-                           (opts_.microsd_mbps * 1e6);
-    node_s += spill_s;
+        std::max(0.0, pe.working_set - opts_.node_memory_bytes);
+    pe.spill_s =
+        overshoot * opts_.thrash_factor / (opts_.microsd_mbps * 1e6);
+    pe.work_s += pe.spill_s;
+    pe.done = true;
+    return pe;
+  };
 
-    run.max_working_set_bytes =
-        std::max(run.max_working_set_bytes, working_set);
-    if (node_s > run.max_node_seconds) {
-      run.max_node_seconds = node_s;
-      run.spill_seconds = spill_s;
+  // ---- Attempt schedule (modeled). Every partition retries on its home
+  // node with capped exponential backoff, then reassigns to the surviving
+  // node with the least accumulated work; crashes reassign immediately.
+  // A partition that has failed 2*max_retries attempts (or has only one
+  // node left to run on) stops honouring the deadline and completes as a
+  // straggler, so any plan that leaves one live node always finishes. ----
+  const int pool_nodes = opts_.num_nodes;
+  std::vector<double> node_clock(pool_nodes, 0.0);
+  std::vector<double> node_spill(pool_nodes, 0.0);
+  std::vector<char> alive(pool_nodes, 1);
+  std::vector<int> flaky_used(pool_nodes, 0);  // transient/stall failures used
+  int live = pool_nodes;
+
+  for (int p = 0; p < nodes; ++p) {
+    const int home = p % pool_nodes;
+    int node = home;
+    int tries_on_node = 0;
+    int attempt_idx = 0;
+    bool assigned_away = false;
+    for (bool done = false; !done;) {
+      WIMPI_CHECK_LT(attempt_idx, 1000) << "fault schedule did not converge";
+      // (Re)assign if the current node is gone: cheapest surviving node,
+      // lowest index on ties — deterministic.
+      if (!alive[node]) {
+        int best = -1;
+        for (int n = 0; n < pool_nodes; ++n) {
+          if (!alive[n]) continue;
+          if (best < 0 || node_clock[n] < node_clock[best]) best = n;
+        }
+        if (best < 0) {
+          cancel.Cancel();  // stop any in-flight partial work promptly
+          std::string msg = "Q";
+          msg += std::to_string(q);
+          msg += ": every node failed (plan: ";
+          msg += plan.ToString();
+          msg += ")";
+          return Status::Unavailable(std::move(msg));
+        }
+        node = best;
+        tries_on_node = 0;
+        if (node != home && !assigned_away) {
+          assigned_away = true;
+          ++run.reassigned_partitions;
+        }
+      }
+
+      const PartitionExec& pe = ensure_exec(p);
+      const double w = pe.work_s;
+      const double deadline =
+          std::max(opts_.min_timeout_s, opts_.timeout_factor * w);
+      const double backoff =
+          attempt_idx == 0
+              ? 0.0
+              : std::min(opts_.retry_backoff_cap_s,
+                         opts_.retry_backoff_s *
+                             std::pow(2.0, attempt_idx - 1));
+      // Degraded last resort: no alternative node, or the partition has
+      // bounced long enough — accept a straggler run over the deadline.
+      const bool last_resort =
+          live <= 1 || attempt_idx >= 2 * opts_.max_retries;
+
+      const NodeFault* f = plan.FaultFor(node);
+      double dur = w;
+      StatusCode outcome = StatusCode::kOk;
+      bool dies = false;
+      if (f != nullptr) {
+        switch (f->kind) {
+          case FaultKind::kCrash:
+            // Crash at the scan->aggregate phase boundary: half the
+            // modeled work is spent, plus one round trip to detect it.
+            outcome = StatusCode::kUnavailable;
+            dur = std::min(0.5 * w, deadline) + opts_.per_node_latency_s;
+            dies = true;
+            break;
+          case FaultKind::kSlowdown:
+            dur = w * f->slowdown;
+            if (dur > deadline && !last_resort) {
+              dur = deadline;
+              outcome = StatusCode::kDeadlineExceeded;
+            }
+            break;
+          case FaultKind::kNetworkStall:
+            if (flaky_used[node] < f->fail_attempts) {
+              ++flaky_used[node];
+              dur = w + f->stall_seconds;
+              if (dur > deadline && !last_resort) {
+                dur = deadline;
+                outcome = StatusCode::kDeadlineExceeded;
+              }
+            }
+            break;
+          case FaultKind::kTransient:
+            if (flaky_used[node] < f->fail_attempts) {
+              ++flaky_used[node];
+              outcome = StatusCode::kUnavailable;
+              dur = std::min(0.5 * w, deadline) + opts_.per_node_latency_s;
+            }
+            break;
+        }
+      }
+
+      const double start = node_clock[node] + backoff;
+      const double end = start + dur;
+      node_clock[node] = end;
+      run.attempts.push_back({p, node, attempt_idx, start, end, outcome});
+      ++attempt_idx;
+
+      if (dies) {
+        alive[node] = 0;
+        --live;
+        ++run.nodes_failed;
+      }
+      if (outcome == StatusCode::kOk) {
+        node_spill[node] += pe.spill_s;
+        done = true;
+      } else {
+        ++run.retries;
+        if (alive[node]) {
+          ++tries_on_node;
+          if (tries_on_node >= opts_.max_retries && live > 1) {
+            // Give up on this node: move to the cheapest other survivor.
+            int best = -1;
+            for (int n = 0; n < pool_nodes; ++n) {
+              if (!alive[n] || n == node) continue;
+              if (best < 0 || node_clock[n] < node_clock[best]) best = n;
+            }
+            if (best >= 0) {
+              node = best;
+              tries_on_node = 0;
+              if (node != home && !assigned_away) {
+                assigned_away = true;
+                ++run.reassigned_partitions;
+              }
+            }
+          }
+        }
+      }
     }
-    run.network_bytes += scaled_bytes(partial);
-    partials.push_back(std::move(partial));
   }
+
+  // Slowest node bounds local work; spill attribution follows it.
+  for (int n = 0; n < pool_nodes; ++n) {
+    if (node_clock[n] > run.max_node_seconds) {
+      run.max_node_seconds = node_clock[n];
+      run.spill_seconds = node_spill[n];
+    }
+  }
+  double clean_max_node = 0;
+  std::vector<exec::Relation> partials;
+  partials.reserve(nodes);
+  for (int p = 0; p < nodes; ++p) {
+    run.max_working_set_bytes =
+        std::max(run.max_working_set_bytes, parts[p].working_set);
+    run.network_bytes += scaled_bytes(parts[p].partial);
+    clean_max_node = std::max(clean_max_node, parts[p].work_s);
+    partials.push_back(std::move(parts[p].partial));
+  }
+  // Faults only stretch local work; network, merge and overhead are
+  // identical to the clean run, so the degradation is the node-time delta.
+  run.degraded_seconds = run.max_node_seconds - clean_max_node;
 
   // Network: every node ships its partial to the coordinator, whose
   // receive link is the bottleneck.
@@ -107,6 +324,17 @@ DistributedRun WimpiCluster::Run(int q, const hw::CostModel& model) const {
   run.total_seconds = overhead_s + run.max_node_seconds +
                       run.network_seconds + run.merge_seconds;
   run.result = std::move(merged);
+
+  if (!plan.empty()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.counter("cluster.fault.attempts")
+        .Add(static_cast<int64_t>(run.attempts.size()));
+    reg.counter("cluster.fault.retries").Add(run.retries);
+    reg.counter("cluster.fault.reassigned_partitions")
+        .Add(run.reassigned_partitions);
+    reg.counter("cluster.fault.nodes_failed").Add(run.nodes_failed);
+    if (obs::TraceSink::Global().enabled()) TraceAttempts(q, run.attempts);
+  }
   return run;
 }
 

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/fault.h"
+#include "common/status.h"
 #include "engine/database.h"
 #include "exec/relation.h"
 #include "hw/cost_model.h"
@@ -28,6 +30,37 @@ struct ClusterOptions {
   // the modeled SF (see DESIGN.md §2).
   double sf_scale = 1.0;
   int threads_per_node = 4;
+
+  // ---- fault injection & recovery (DESIGN.md §9) ----
+  // Empty plan (the default) disables the whole fault path: Run() takes
+  // the exact pre-fault code shape and produces bit-identical results and
+  // modeled times.
+  FaultPlan faults;
+  // Failed attempts tolerated on one node before the partition is
+  // reassigned to a surviving node (crashes reassign immediately).
+  int max_retries = 3;
+  // Capped exponential backoff between attempts of one partition:
+  // min(retry_backoff_s * 2^(attempt-1), retry_backoff_cap_s), charged to
+  // modeled time.
+  double retry_backoff_s = 0.05;
+  double retry_backoff_cap_s = 1.0;
+  // Per-attempt deadline: timeout_factor * the partition's expected node
+  // seconds under the cost model, floored at min_timeout_s.
+  double timeout_factor = 4.0;
+  double min_timeout_s = 0.01;
+};
+
+// One scheduling attempt of a lineitem partition on a node, in modeled
+// node-clock seconds. outcome: kOk on success, kUnavailable for a crashed
+// or transiently failing node, kDeadlineExceeded for a straggler that blew
+// its deadline.
+struct AttemptRecord {
+  int partition = 0;
+  int node = 0;
+  int attempt = 0;  // 0-based, per partition
+  double start_seconds = 0;
+  double end_seconds = 0;
+  StatusCode outcome = StatusCode::kOk;
 };
 
 // Per-query result of a simulated distributed execution.
@@ -41,6 +74,17 @@ struct DistributedRun {
   double network_bytes = 0;
   double max_working_set_bytes = 0;  // worst node's working set (scaled)
   int nodes_used = 1;
+
+  // ---- recovery accounting (all zero on a fault-free run) ----
+  int retries = 0;                 // failed attempts that were retried
+  int reassigned_partitions = 0;   // partitions that left their home node
+  int nodes_failed = 0;            // nodes observed crashed during the run
+  // Extra modeled time the faults cost: total_seconds minus what this very
+  // run would have taken with an empty FaultPlan.
+  double degraded_seconds = 0;
+  // Per-attempt timeline in partition order (one kOk entry per partition
+  // on a clean run).
+  std::vector<AttemptRecord> attempts;
 };
 
 // Simulated WIMPI cluster: lineitem is hash-partitioned on l_orderkey
@@ -48,6 +92,16 @@ struct DistributedRun {
 // host memory). Partial plans execute for real per node; the hardware model
 // converts each node's counters into simulated time, and the driver adds
 // the paper's network, merge, and memory-pressure effects.
+//
+// With a non-empty ClusterOptions::faults plan, Run() also simulates the
+// paper's failure modes: each attempt gets a modeled deadline, failures
+// are retried with capped exponential backoff, and partitions whose node
+// died (or kept timing out) are reassigned to the surviving node with the
+// least accumulated work — any survivor can recompute any partition,
+// because lineitem partitions are deterministic hash ranges and every
+// other table is replicated. Results stay bit-identical to the fault-free
+// answer; only the modeled time degrades. Run() errors (kUnavailable)
+// only when no live node remains.
 class WimpiCluster {
  public:
   WimpiCluster(const engine::Database& db, const ClusterOptions& opts);
@@ -57,7 +111,9 @@ class WimpiCluster {
   const engine::Database& node_db(int i) const { return node_dbs_[i]; }
 
   // Runs one of the eight distributed queries (Q13 uses a single node).
-  DistributedRun Run(int q, const hw::CostModel& model) const;
+  // Returns InvalidArgument for queries outside the distributed subset and
+  // Unavailable when the fault plan kills every node.
+  Result<DistributedRun> Run(int q, const hw::CostModel& model) const;
 
   // Simulated seconds to ship `bytes` from `n_senders` nodes to the
   // coordinator (receive-side 220 Mbps bottleneck + per-node latency).

@@ -18,6 +18,11 @@ enum class StatusCode {
   kOutOfMemory,
   kUnimplemented,
   kInternal,
+  // Distributed-execution conditions (cluster fault model): a node (or the
+  // whole cluster) cannot serve the request right now / an attempt blew
+  // its modeled deadline.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // A lightweight success-or-error value, modeled on absl::Status.
@@ -43,6 +48,12 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +78,10 @@ class Status {
         return "Unimplemented";
       case StatusCode::kInternal:
         return "Internal";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
+      case StatusCode::kDeadlineExceeded:
+        return "DeadlineExceeded";
     }
     return "Unknown";
   }
@@ -99,6 +114,30 @@ class Result {
  private:
   std::variant<T, Status> value_;
 };
+
+// Early-return helpers for Status / Result<T> call chains, modeled on
+// absl's RETURN_IF_ERROR / ASSIGN_OR_RETURN. Usable in any function whose
+// return type is implicitly constructible from Status.
+//
+//   WIMPI_RETURN_IF_ERROR(DoThing());
+//   WIMPI_ASSIGN_OR_RETURN(auto run, cluster.Run(q, model));
+#define WIMPI_STATUS_CONCAT_INNER_(a, b) a##b
+#define WIMPI_STATUS_CONCAT_(a, b) WIMPI_STATUS_CONCAT_INNER_(a, b)
+
+#define WIMPI_RETURN_IF_ERROR(expr)                       \
+  do {                                                    \
+    ::wimpi::Status wimpi_status_tmp_ = (expr);           \
+    if (!wimpi_status_tmp_.ok()) return wimpi_status_tmp_; \
+  } while (false)
+
+#define WIMPI_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  WIMPI_ASSIGN_OR_RETURN_IMPL_(                                            \
+      WIMPI_STATUS_CONCAT_(wimpi_result_tmp_, __LINE__), lhs, rexpr)
+
+#define WIMPI_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
 
 }  // namespace wimpi
 

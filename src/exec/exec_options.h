@@ -3,6 +3,10 @@
 
 #include <cstdint>
 
+namespace wimpi::parallel {
+class CancellationToken;
+}  // namespace wimpi::parallel
+
 namespace wimpi::exec {
 
 // Engine-wide execution knobs. The default (one thread) preserves the
@@ -17,6 +21,12 @@ struct ExecOptions {
   // on this value — never on num_threads — so per-morsel partial results
   // merged in morsel order give the same answer at every thread count.
   int64_t morsel_rows = 64 * 1024;
+  // Cooperative cancellation for every morsel loop run under these
+  // options. Null (the default) means not cancellable. The pointed-to
+  // token must outlive the plan; a fired token makes in-flight operators
+  // return partial garbage, so only a driver that is abandoning the whole
+  // computation (e.g. the cluster fault path) should cancel.
+  const parallel::CancellationToken* cancellation = nullptr;
 };
 
 // Ambient options consulted by the operator library. Set them once before

@@ -27,8 +27,10 @@ inline int NumMorsels(int64_t rows) {
 // merged in index order are deterministic at any thread count.
 inline void RunMorsels(int64_t rows, int threads,
                        const std::function<void(const parallel::Morsel&)>& body) {
-  parallel::TaskScheduler::Global().RunMorsels(
-      rows, CurrentExecOptions().morsel_rows, threads, body);
+  const ExecOptions& opts = CurrentExecOptions();
+  parallel::TaskScheduler::Global().RunMorsels(rows, opts.morsel_rows,
+                                               threads, body,
+                                               opts.cancellation);
 }
 
 // Same, but with an explicit chunk size — used when the partial-result
@@ -36,8 +38,8 @@ inline void RunMorsels(int64_t rows, int threads,
 // tables) rather than one per morsel.
 inline void RunChunks(int64_t rows, int64_t chunk_rows, int threads,
                       const std::function<void(const parallel::Morsel&)>& body) {
-  parallel::TaskScheduler::Global().RunMorsels(rows, chunk_rows, threads,
-                                               body);
+  parallel::TaskScheduler::Global().RunMorsels(
+      rows, chunk_rows, threads, body, CurrentExecOptions().cancellation);
 }
 
 }  // namespace wimpi::exec

@@ -33,12 +33,42 @@ TaskScheduler& TaskScheduler::Global() {
   return *scheduler;
 }
 
+namespace {
+
+// Runs one morsel body, converting any escaping exception into a TaskError
+// that names the operator and morsel — worker-thread failures must be
+// attributable without a debugger. An incoming TaskError is forwarded
+// untouched (it already carries the most specific context).
+void RunMorselBody(const std::function<void(const Morsel&)>& body,
+                   const Morsel& m, const char* label) {
+  try {
+    body(m);
+  } catch (const TaskError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw TaskError("[op " + std::string(label) + " morsel " +
+                    std::to_string(m.index) + " rows " +
+                    std::to_string(m.begin) + ".." + std::to_string(m.end) +
+                    "] " + e.what());
+  } catch (...) {
+    throw TaskError("[op " + std::string(label) + " morsel " +
+                    std::to_string(m.index) + "] unknown exception");
+  }
+}
+
+}  // namespace
+
 void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
-                               const std::function<void(const Morsel&)>& body) {
+                               const std::function<void(const Morsel&)>& body,
+                               const CancellationToken* cancel) {
   const std::vector<Morsel> morsels = SplitMorsels(total, morsel_rows);
   if (morsels.empty()) return;
+  const char* label = obs::CurrentOpLabel();
   if (threads <= 1 || morsels.size() == 1) {
-    for (const Morsel& m : morsels) body(m);
+    for (const Morsel& m : morsels) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      RunMorselBody(body, m, label);
+    }
     return;
   }
   // Profiler hooks, both no-ops unless a profiled run enabled them: the
@@ -47,7 +77,6 @@ void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
   // caller) thread that ran it.
   obs::NoteParallelPhase(threads, static_cast<int>(morsels.size()));
   if (obs::TraceSink::Global().enabled()) {
-    const char* label = obs::CurrentOpLabel();
     pool_.ParallelFor(
         static_cast<int64_t>(morsels.size()),
         [&](int64_t i) {
@@ -56,14 +85,16 @@ void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
           std::snprintf(args, sizeof(args), "{\"morsel\":%d,\"rows\":%lld}",
                         m.index, static_cast<long long>(m.rows()));
           obs::TraceSpan span(std::string(label), "morsel", args);
-          body(m);
+          RunMorselBody(body, m, label);
         },
-        threads);
+        threads, cancel);
     return;
   }
   pool_.ParallelFor(
       static_cast<int64_t>(morsels.size()),
-      [&](int64_t i) { body(morsels[static_cast<size_t>(i)]); }, threads);
+      [&](int64_t i) { RunMorselBody(body, morsels[static_cast<size_t>(i)],
+                                     label); },
+      threads, cancel);
 }
 
 namespace {
@@ -75,6 +106,7 @@ namespace {
 struct GraphState {
   const std::vector<std::function<void()>>* nodes = nullptr;
   ThreadPool* pool = nullptr;
+  const CancellationToken* cancel = nullptr;
   std::vector<std::atomic<int>> pending;
   std::vector<std::vector<int>> dependents;
   std::exception_ptr error;
@@ -91,13 +123,29 @@ struct GraphState {
 void RunNodeChain(const std::shared_ptr<GraphState>& state, int start) {
   int i = start;
   while (i >= 0) {
-    if (!state->abort.load(std::memory_order_relaxed)) {
+    if (!state->abort.load(std::memory_order_relaxed) &&
+        (state->cancel == nullptr || !state->cancel->cancelled())) {
       try {
         obs::TraceSpan span("graph-node", "pool");
         (*state->nodes)[i]();
       } catch (...) {
+        // First-error semantics, with the failing node attached so graph
+        // failures are attributable (foreign exceptions only; a TaskError
+        // from a nested morsel loop keeps its narrower context).
+        std::exception_ptr error;
+        try {
+          throw;
+        } catch (const TaskError&) {
+          error = std::current_exception();
+        } catch (const std::exception& e) {
+          error = std::make_exception_ptr(
+              TaskError("[graph node " + std::to_string(i) + "] " + e.what()));
+        } catch (...) {
+          error = std::make_exception_ptr(TaskError(
+              "[graph node " + std::to_string(i) + "] unknown exception"));
+        }
         std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->error) state->error = std::current_exception();
+        if (!state->error) state->error = error;
         state->abort.store(true, std::memory_order_relaxed);
       }
     }
@@ -126,7 +174,8 @@ void RunNodeChain(const std::shared_ptr<GraphState>& state, int start) {
 
 void TaskScheduler::RunTaskGraph(
     const std::vector<std::function<void()>>& nodes,
-    const std::vector<std::vector<int>>& deps) {
+    const std::vector<std::vector<int>>& deps,
+    const CancellationToken* cancel) {
   const int n = static_cast<int>(nodes.size());
   WIMPI_CHECK_EQ(deps.size(), nodes.size());
   if (n == 0) return;
@@ -134,6 +183,7 @@ void TaskScheduler::RunTaskGraph(
   auto state = std::make_shared<GraphState>(n);
   state->nodes = &nodes;
   state->pool = &pool_;
+  state->cancel = cancel;
   for (int i = 0; i < n; ++i) {
     state->pending[i].store(static_cast<int>(deps[i].size()),
                             std::memory_order_relaxed);

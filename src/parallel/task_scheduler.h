@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "parallel/cancellation.h"
 #include "parallel/thread_pool.h"
 
 namespace wimpi::parallel {
@@ -50,14 +51,25 @@ class TaskScheduler {
   // Runs body(morsel) for every morsel of [0, total) on up to `threads`
   // threads (including the caller). Morsel boundaries depend only on
   // `total` and `morsel_rows`, never on `threads`.
+  //
+  // A body exception aborts the loop (remaining morsels are skipped) and
+  // is rethrown on the caller as a TaskError naming the operator label and
+  // the morsel it came from. When `cancel` is given and fires, in-flight
+  // morsels finish, the rest are skipped, and RunMorsels returns normally
+  // — the cancelling driver owns the token and discards the partial work.
   void RunMorsels(int64_t total, int64_t morsel_rows, int threads,
-                  const std::function<void(const Morsel&)>& body);
+                  const std::function<void(const Morsel&)>& body,
+                  const CancellationToken* cancel = nullptr);
 
   // Runs a pipeline expressed as a task graph: node i starts once every
   // node in deps[i] has finished; independent nodes run concurrently.
-  // CHECK-fails on cycles (some node never becomes ready).
+  // CHECK-fails on cycles (some node never becomes ready). A node
+  // exception is rethrown as a TaskError naming the node; a fired `cancel`
+  // token makes not-yet-started nodes no-ops (the graph still "completes"
+  // so the caller never blocks).
   void RunTaskGraph(const std::vector<std::function<void()>>& nodes,
-                    const std::vector<std::vector<int>>& deps);
+                    const std::vector<std::vector<int>>& deps,
+                    const CancellationToken* cancel = nullptr);
 
  private:
   ThreadPool pool_;

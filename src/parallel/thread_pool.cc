@@ -118,12 +118,16 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 }
 
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
-                             int max_workers) {
+                             int max_workers,
+                             const CancellationToken* cancel) {
   if (n <= 0) return;
   // From inside a worker (or with a trivial range) run inline: a task that
   // fans out must never wait on the pool it occupies.
   if (n == 1 || OnWorkerThread()) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    for (int64_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -141,13 +145,14 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
   };
   auto state = std::make_shared<LoopState>();
 
-  auto drain = [state, &fn, n] {
+  auto drain = [state, &fn, n, cancel] {
     for (;;) {
       const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      const bool cancelled = cancel != nullptr && cancel->cancelled();
       {
         std::lock_guard<std::mutex> lock(state->mu);
-        if (state->abort) {
+        if (state->abort || cancelled) {
           // Still count the claimed iteration so `done` reaches the number
           // of claimed-and-finished items the caller waits for.
           ++state->done;
@@ -158,8 +163,23 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
       try {
         fn(i);
       } catch (...) {
+        // Attribute the failure to its iteration; TaskError already carries
+        // narrower context (morsel/op or graph node) from the layer above.
+        std::exception_ptr error;
+        try {
+          throw;
+        } catch (const TaskError&) {
+          error = std::current_exception();
+        } catch (const std::exception& e) {
+          error = std::make_exception_ptr(TaskError(
+              "[parallel-for i=" + std::to_string(i) + "] " + e.what()));
+        } catch (...) {
+          error = std::make_exception_ptr(TaskError(
+              "[parallel-for i=" + std::to_string(i) +
+              "] unknown exception"));
+        }
         std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->error) state->error = std::current_exception();
+        if (!state->error) state->error = error;
         state->abort = true;
       }
       {

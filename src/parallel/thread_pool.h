@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/cancellation.h"
+
 namespace wimpi::parallel {
 
 // A fixed set of worker threads draining a shared task queue (the classic
@@ -40,9 +42,16 @@ class ThreadPool {
   // to `max_workers - 1` pool workers help (<= 0 means the whole pool).
   // Iterations are claimed dynamically (morsel-driven); the first exception
   // is rethrown on the caller after all claimed iterations finish, and
-  // unclaimed iterations are abandoned.
+  // unclaimed iterations are abandoned. Foreign exceptions are rethrown as
+  // TaskError with the failing iteration index attached (an escaping
+  // TaskError already carries context and is forwarded unchanged).
+  //
+  // `cancel` (optional) is polled before each claimed iteration runs: once
+  // cancelled, remaining iterations are skipped and ParallelFor returns
+  // normally — the caller owns the token and knows the work is partial.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
-                   int max_workers = 0);
+                   int max_workers = 0,
+                   const CancellationToken* cancel = nullptr);
 
   // True when the current thread is one of this process's pool workers
   // (any pool). Operators use it to refuse nested re-parallelization.

@@ -30,7 +30,9 @@ TEST_P(DistributedQueryTest, MatchesSingleNode) {
   const cluster::WimpiCluster wimpi(TestDb(), opts);
 
   hw::CostModel model;
-  cluster::DistributedRun run = wimpi.Run(q, model);
+  const auto r = wimpi.Run(q, model);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const cluster::DistributedRun& run = *r;
 
   exec::QueryStats stats;
   const exec::Relation expected = tpch::RunQuery(q, TestDb(), &stats);
@@ -54,6 +56,20 @@ INSTANTIATE_TEST_SUITE_P(
       return "Q" + std::to_string(std::get<0>(info.param)) + "_N" +
              std::to_string(std::get<1>(info.param));
     });
+
+TEST(ClusterApiTest, UnsupportedQueryIsInvalidArgument) {
+  // Queries outside the distributed subset must come back as a Status, not
+  // a process abort.
+  cluster::ClusterOptions opts;
+  opts.num_nodes = 2;
+  const cluster::WimpiCluster wimpi(TestDb(), opts);
+  hw::CostModel model;
+  for (const int q : {0, 2, 7, 22, 99}) {
+    const auto r = wimpi.Run(q, model);
+    ASSERT_FALSE(r.ok()) << "Q" << q;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << "Q" << q;
+  }
+}
 
 TEST(PartitionTest, RowsArePreservedAndDisjoint) {
   const auto& lineitem = TestDb().table("lineitem");
@@ -102,7 +118,7 @@ TEST(ClusterModelTest, MoreNodesReduceQ1Time) {
     opts.num_nodes = n;
     opts.sf_scale = 10.0;
     const cluster::WimpiCluster wimpi(TestDb(), opts);
-    const auto run = wimpi.Run(1, model);
+    const auto run = wimpi.Run(1, model).value();
     EXPECT_LT(run.total_seconds, prev) << n << " nodes";
     prev = run.total_seconds;
   }
@@ -115,7 +131,7 @@ TEST(ClusterModelTest, Q13TimeIsFlatAcrossClusterSizes) {
     cluster::ClusterOptions opts;
     opts.num_nodes = n;
     const cluster::WimpiCluster wimpi(TestDb(), opts);
-    const auto run = wimpi.Run(13, model);
+    const auto run = wimpi.Run(13, model).value();
     if (first < 0) {
       first = run.total_seconds;
     } else {
@@ -131,12 +147,12 @@ TEST(ClusterModelTest, MemoryPressureTriggersSpill) {
   opts.sf_scale = 50.0;                          // blow past 1 GB per node
   opts.node_memory_bytes = 64.0 * 1024 * 1024;   // tiny nodes
   const cluster::WimpiCluster small(TestDb(), opts);
-  const auto constrained = small.Run(1, model);
+  const auto constrained = small.Run(1, model).value();
   EXPECT_GT(constrained.spill_seconds, 0.0);
 
   opts.node_memory_bytes = 1e12;  // effectively infinite
   const cluster::WimpiCluster big(TestDb(), opts);
-  const auto unconstrained = big.Run(1, model);
+  const auto unconstrained = big.Run(1, model).value();
   EXPECT_EQ(unconstrained.spill_seconds, 0.0);
   EXPECT_LT(unconstrained.total_seconds, constrained.total_seconds);
 }

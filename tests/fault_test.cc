@@ -1,0 +1,238 @@
+// Fault-injection and recovery tests: any fault plan that leaves at least
+// one live node must yield bit-identical query answers (only modeled time
+// may degrade), identical seeds must reproduce identical plans and stats,
+// and killing every node must surface kUnavailable instead of aborting.
+#include <cstring>
+
+#include "cluster/fault.h"
+#include "cluster/wimpi_cluster.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wimpi {
+namespace {
+
+constexpr int kNodes = 4;
+
+const engine::Database& TestDb() {
+  static engine::Database* db = [] {
+    tpch::GenOptions opts;
+    opts.scale_factor = 0.02;
+    return new engine::Database(tpch::GenerateDatabase(opts));
+  }();
+  return *db;
+}
+
+Result<cluster::DistributedRun> RunWith(int q, cluster::FaultPlan plan) {
+  cluster::ClusterOptions opts;
+  opts.num_nodes = kNodes;
+  opts.faults = std::move(plan);
+  const cluster::WimpiCluster wimpi(TestDb(), opts);
+  hw::CostModel model;
+  return wimpi.Run(q, model);
+}
+
+// Bit-exact relation comparison: doubles are compared by bit pattern, not
+// tolerance — "bit-identical to the fault-free run" is the contract.
+void ExpectBitIdentical(const tpch_ref::RefResult& actual,
+                        const tpch_ref::RefResult& expected) {
+  ASSERT_EQ(actual.size(), expected.size()) << "row count";
+  for (size_t r = 0; r < actual.size(); ++r) {
+    ASSERT_EQ(actual[r].size(), expected[r].size()) << "arity at row " << r;
+    for (size_t c = 0; c < actual[r].size(); ++c) {
+      const auto& a = actual[r][c];
+      const auto& e = expected[r][c];
+      if (std::holds_alternative<double>(e)) {
+        ASSERT_TRUE(std::holds_alternative<double>(a));
+        const double av = std::get<double>(a);
+        const double ev = std::get<double>(e);
+        ASSERT_EQ(std::memcmp(&av, &ev, sizeof(double)), 0)
+            << "double bits differ at (" << r << "," << c << "): " << av
+            << " vs " << ev;
+      } else {
+        ASSERT_TRUE(a == e) << "cell (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultMatrixTest, BitIdenticalUnderEveryScenario) {
+  const int q = GetParam();
+  const auto clean_r = RunWith(q, cluster::FaultPlan{});
+  ASSERT_TRUE(clean_r.ok()) << clean_r.status().ToString();
+  const cluster::DistributedRun& clean = *clean_r;
+
+  // The zero-fault path must not pay for the recovery machinery.
+  EXPECT_EQ(clean.retries, 0);
+  EXPECT_EQ(clean.reassigned_partitions, 0);
+  EXPECT_EQ(clean.nodes_failed, 0);
+  EXPECT_EQ(clean.degraded_seconds, 0.0);
+  EXPECT_EQ(static_cast<int>(clean.attempts.size()), clean.nodes_used);
+  const auto clean_ref = ToRefResult(clean.result);
+
+  std::vector<std::pair<std::string, cluster::FaultPlan>> scenarios;
+  for (int n = 0; n < kNodes; ++n) {
+    scenarios.emplace_back("crash node " + std::to_string(n),
+                           cluster::FaultPlan::Crash({n}));
+  }
+  scenarios.emplace_back("crash 3 of 4 nodes",
+                         cluster::FaultPlan::Crash({0, 2, 3}));
+  scenarios.emplace_back("straggler x8", cluster::FaultPlan::Slowdown(1, 8.0));
+  scenarios.emplace_back("network stall",
+                         cluster::FaultPlan::NetworkStall(2, 0.5, 2));
+  scenarios.emplace_back("transient failure",
+                         cluster::FaultPlan::Transient(3, 2));
+
+  for (auto& [name, plan] : scenarios) {
+    SCOPED_TRACE(name);
+    const auto r = RunWith(q, std::move(plan));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectBitIdentical(ToRefResult(r->result), clean_ref);
+    // Faults only ever stretch modeled time.
+    EXPECT_GE(r->total_seconds, clean.total_seconds);
+    EXPECT_GE(r->degraded_seconds, 0.0);
+    // Network / merge cost is unaffected: the same partials cross the wire.
+    EXPECT_EQ(r->network_bytes, clean.network_bytes);
+    EXPECT_EQ(r->network_seconds, clean.network_seconds);
+    EXPECT_EQ(r->merge_seconds, clean.merge_seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sf10Subset, FaultMatrixTest,
+    ::testing::ValuesIn(std::vector<int>(
+        tpch::kSf10Queries, tpch::kSf10Queries + tpch::kNumSf10Queries)),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return "Q" + std::to_string(info.param);
+    });
+
+TEST(FaultRecoveryTest, CrashedPartitionIsReassigned) {
+  const auto r = RunWith(1, cluster::FaultPlan::Crash({0}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->nodes_failed, 1);
+  EXPECT_GE(r->reassigned_partitions, 1);
+  EXPECT_GE(r->retries, 1);
+  EXPECT_GT(r->degraded_seconds, 0.0);
+  // The timeline records the failed attempt on node 0 and the successful
+  // rerun elsewhere.
+  bool saw_failure = false, saw_rerun = false;
+  for (const auto& a : r->attempts) {
+    if (a.node == 0 && a.outcome == StatusCode::kUnavailable) {
+      saw_failure = true;
+    }
+    if (a.partition == 0 && a.node != 0 && a.outcome == StatusCode::kOk) {
+      saw_rerun = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_rerun);
+}
+
+TEST(FaultRecoveryTest, MoreCrashesNeverSpeedThingsUp) {
+  // Nested crash sets: each superset must cost at least as much modeled
+  // time as its subset (survivors absorb strictly more work).
+  double prev = 0.0;
+  for (const auto& nodes :
+       {std::vector<int>{}, {0}, {0, 2}, {0, 2, 3}}) {
+    const auto r = RunWith(1, cluster::FaultPlan::Crash(nodes));
+    ASSERT_TRUE(r.ok()) << nodes.size() << " crashes";
+    EXPECT_GE(r->total_seconds, prev) << nodes.size() << " crashes";
+    prev = r->total_seconds;
+  }
+}
+
+TEST(FaultRecoveryTest, AllNodesCrashedIsUnavailable) {
+  const auto r = RunWith(1, cluster::FaultPlan::Crash({0, 1, 2, 3}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("every node failed"),
+            std::string::npos);
+}
+
+TEST(FaultRecoveryTest, StragglerEventuallyCompletesWithoutReassignTarget) {
+  // Every node slowed: no faster node exists, so after enough bounced
+  // attempts the driver must accept straggler runs and still finish.
+  cluster::FaultPlan plan;
+  for (int n = 0; n < kNodes; ++n) {
+    auto one = cluster::FaultPlan::Slowdown(n, 32.0);
+    plan.faults.push_back(one.faults[0]);
+  }
+  const auto clean = RunWith(6, cluster::FaultPlan{});
+  ASSERT_TRUE(clean.ok());
+  const auto r = RunWith(6, std::move(plan));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectBitIdentical(ToRefResult(r->result), ToRefResult(clean->result));
+  EXPECT_GT(r->total_seconds, clean->total_seconds);
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  for (const uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const auto a = cluster::FaultPlan::Generate(seed, 24);
+    const auto b = cluster::FaultPlan::Generate(seed, 24);
+    ASSERT_EQ(a.faults.size(), b.faults.size()) << seed;
+    EXPECT_EQ(a.seed, seed);
+    for (size_t i = 0; i < a.faults.size(); ++i) {
+      EXPECT_EQ(a.faults[i].node, b.faults[i].node);
+      EXPECT_EQ(a.faults[i].kind, b.faults[i].kind);
+      EXPECT_EQ(a.faults[i].slowdown, b.faults[i].slowdown);
+      EXPECT_EQ(a.faults[i].stall_seconds, b.faults[i].stall_seconds);
+      EXPECT_EQ(a.faults[i].fail_attempts, b.faults[i].fail_attempts);
+    }
+    EXPECT_EQ(a.ToString(), b.ToString());
+  }
+}
+
+TEST(FaultPlanTest, GeneratedPlansAreRecoverableAndBounded) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto plan = cluster::FaultPlan::Generate(seed, kNodes);
+    ASSERT_FALSE(plan.empty()) << seed;
+    int crashes = 0;
+    for (const auto& f : plan.faults) {
+      EXPECT_GE(f.node, 0);
+      EXPECT_LT(f.node, kNodes);
+      if (f.kind == cluster::FaultKind::kCrash) ++crashes;
+    }
+    EXPECT_LT(crashes, kNodes) << "seed " << seed << " kills every node";
+  }
+}
+
+TEST(FaultPlanTest, SameSeedSameDistributedRunStats) {
+  const auto plan = cluster::FaultPlan::Generate(7, kNodes);
+  const auto a = RunWith(3, plan);
+  const auto b = RunWith(3, plan);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->total_seconds, b->total_seconds);
+  EXPECT_EQ(a->max_node_seconds, b->max_node_seconds);
+  EXPECT_EQ(a->degraded_seconds, b->degraded_seconds);
+  EXPECT_EQ(a->retries, b->retries);
+  EXPECT_EQ(a->reassigned_partitions, b->reassigned_partitions);
+  EXPECT_EQ(a->nodes_failed, b->nodes_failed);
+  ASSERT_EQ(a->attempts.size(), b->attempts.size());
+  for (size_t i = 0; i < a->attempts.size(); ++i) {
+    EXPECT_EQ(a->attempts[i].partition, b->attempts[i].partition);
+    EXPECT_EQ(a->attempts[i].node, b->attempts[i].node);
+    EXPECT_EQ(a->attempts[i].attempt, b->attempts[i].attempt);
+    EXPECT_EQ(a->attempts[i].start_seconds, b->attempts[i].start_seconds);
+    EXPECT_EQ(a->attempts[i].end_seconds, b->attempts[i].end_seconds);
+    EXPECT_EQ(a->attempts[i].outcome, b->attempts[i].outcome);
+  }
+  ExpectBitIdentical(ToRefResult(a->result), ToRefResult(b->result));
+}
+
+TEST(FaultPlanTest, GeneratedPlanRunsBitIdentical) {
+  // End-to-end over a seed-derived plan (what `--faults <seed>` does).
+  const auto clean = RunWith(19, cluster::FaultPlan{});
+  ASSERT_TRUE(clean.ok());
+  const auto r = RunWith(19, cluster::FaultPlan::Generate(42, kNodes));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectBitIdentical(ToRefResult(r->result), ToRefResult(clean->result));
+  EXPECT_GE(r->total_seconds, clean->total_seconds);
+}
+
+}  // namespace
+}  // namespace wimpi

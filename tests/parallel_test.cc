@@ -16,6 +16,7 @@
 #include "exec/join.h"
 #include "exec/relation_ops.h"
 #include "gtest/gtest.h"
+#include "parallel/cancellation.h"
 #include "parallel/task_scheduler.h"
 #include "parallel/thread_pool.h"
 #include "storage/column.h"
@@ -180,6 +181,133 @@ TEST(TaskSchedulerTest, TaskGraphPropagatesExceptions) {
   nodes.push_back([] {});
   EXPECT_THROW(sched.RunTaskGraph(nodes, {{}, {0}, {1}}),
                std::runtime_error);
+}
+
+// ---------- Cooperative cancellation ----------
+
+TEST(CancellationTest, ParallelForStopsClaimingIterations) {
+  ThreadPool pool(4);
+  parallel::CancellationToken cancel;
+  std::atomic<int> ran{0};
+  // Cancel from inside the loop: remaining un-claimed iterations are
+  // skipped, in-flight bodies finish, and the call returns normally.
+  pool.ParallelFor(
+      100000,
+      [&](int64_t i) {
+        ran.fetch_add(1);
+        if (i == 10) cancel.Cancel();
+      },
+      /*max_workers=*/4, &cancel);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), 100000);
+  // Pool stays usable; a fresh token runs everything.
+  cancel.Reset();
+  ran.store(0);
+  pool.ParallelFor(64, [&](int64_t) { ran.fetch_add(1); }, 4, &cancel);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(CancellationTest, PreCancelledTokenSkipsInlinePathToo) {
+  ThreadPool pool(2);
+  parallel::CancellationToken cancel;
+  cancel.Cancel();
+  std::atomic<int> ran{0};
+  // n == 1 takes the inline path; it must honour the token as well.
+  pool.ParallelFor(1, [&](int64_t) { ran.fetch_add(1); }, 2, &cancel);
+  pool.ParallelFor(1000, [&](int64_t) { ran.fetch_add(1); }, 2, &cancel);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(CancellationTest, RunMorselsStopsEarly) {
+  TaskScheduler sched(4);
+  parallel::CancellationToken cancel;
+  std::atomic<int> ran{0};
+  sched.RunMorsels(
+      1 << 20, 256, 4,
+      [&](const Morsel& m) {
+        ran.fetch_add(1);
+        if (m.index == 3) cancel.Cancel();
+      },
+      &cancel);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), (1 << 20) / 256);
+}
+
+TEST(CancellationTest, RunTaskGraphSkipsAfterCancel) {
+  TaskScheduler sched(2);
+  parallel::CancellationToken cancel;
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> nodes;
+  nodes.push_back([&] {
+    ran.fetch_add(1);
+    cancel.Cancel();
+  });
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back([&] { ran.fetch_add(1); });
+  }
+  // A chain after the cancelling node: successors must be skipped.
+  sched.RunTaskGraph(nodes, {{}, {0}, {1}, {2}, {3}}, &cancel);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// ---------- Worker exception context ----------
+
+TEST(TaskErrorTest, ParallelForWrapsWithIterationIndex) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [&](int64_t i) {
+      if (i == 37) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected TaskError";
+  } catch (const parallel::TaskError& e) {
+    EXPECT_NE(std::string(e.what()).find("[parallel-for i=37]"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(TaskErrorTest, RunMorselsWrapsWithOpLabelAndMorselRange) {
+  TaskScheduler sched(4);
+  try {
+    sched.RunMorsels(10000, 100, 4, [&](const Morsel& m) {
+      if (m.index == 7) throw std::runtime_error("bad morsel");
+    });
+    FAIL() << "expected TaskError";
+  } catch (const parallel::TaskError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[op plan morsel 7 rows 700..800]"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("bad morsel"), std::string::npos);
+    // Single-wrap: the inner morsel context survives; no outer
+    // parallel-for frame is stacked on top.
+    EXPECT_EQ(what.find("[parallel-for"), std::string::npos) << what;
+  }
+}
+
+TEST(TaskErrorTest, RunTaskGraphWrapsWithNodeIndex) {
+  TaskScheduler sched(2);
+  std::vector<std::function<void()>> nodes;
+  nodes.push_back([] {});
+  nodes.push_back([] { throw std::runtime_error("node failed"); });
+  try {
+    sched.RunTaskGraph(nodes, {{}, {0}});
+    FAIL() << "expected TaskError";
+  } catch (const parallel::TaskError& e) {
+    EXPECT_NE(std::string(e.what()).find("[graph node 1]"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("node failed"), std::string::npos);
+  }
+}
+
+TEST(TaskErrorTest, IsARuntimeErrorForExistingCallers) {
+  // Call sites that catch std::runtime_error keep working unchanged.
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(100, [](int64_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
 }
 
 // ---------- Operator equivalence: 1 thread vs many ----------

@@ -80,6 +80,7 @@ bool WriteArtifact(const std::string& path, const RunArtifact& a) {
       .Key("perf_available").Bool(a.perf_available);
   WriteStringMap(w, "perf", a.perf);
   WriteStringMap(w, "metrics", a.metrics);
+  WriteStringMap(w, "rollups", a.rollups);
   w.Key("rows").BeginObject();
   for (const auto& [series, metrics] : a.rows) {
     w.Key(series).BeginObject();
@@ -130,9 +131,11 @@ bool ReadArtifact(const std::string& path, RunArtifact* out,
   *out = RunArtifact{};
   out->schema_version =
       static_cast<int>(doc.GetDouble("schema_version", -1));
-  if (out->schema_version != kArtifactSchemaVersion) {
+  if (out->schema_version < kArtifactMinSchemaVersion ||
+      out->schema_version > kArtifactSchemaVersion) {
     *error = path + ": schema_version " +
-             std::to_string(out->schema_version) + " (expected " +
+             std::to_string(out->schema_version) + " (supported " +
+             std::to_string(kArtifactMinSchemaVersion) + ".." +
              std::to_string(kArtifactSchemaVersion) + ")";
     return false;
   }
@@ -148,8 +151,9 @@ bool ReadArtifact(const std::string& path, RunArtifact* out,
     out->perf_available = pa->AsBool();
   }
   if (!ReadStringMap(doc, "perf", &out->perf) ||
-      !ReadStringMap(doc, "metrics", &out->metrics)) {
-    *error = path + ": malformed perf/metrics section";
+      !ReadStringMap(doc, "metrics", &out->metrics) ||
+      !ReadStringMap(doc, "rollups", &out->rollups)) {
+    *error = path + ": malformed perf/metrics/rollups section";
     return false;
   }
   const JsonValue* rows = doc.Find("rows");
@@ -237,6 +241,31 @@ CompareResult CompareArtifacts(const RunArtifact& base,
       r.diffs.push_back(std::move(d));
     }
   }
+  // Rollups (v2+) are modeled cluster aggregations: deterministic, gated
+  // at rel_tol. A v1 baseline has none, so nothing is compared against it;
+  // once a baseline carries them, coverage must not shrink.
+  for (const auto& [name, base_v] : base.rollups) {
+    const auto it = current.rollups.find(name);
+    if (it == current.rollups.end()) {
+      if (opts.fail_on_missing) {
+        r.errors.push_back("missing in current artifact: rollups/" + name);
+      }
+      continue;
+    }
+    ++compared;
+    const double diff = it->second - base_v;
+    if (std::fabs(diff) <= opts.abs_floor) continue;
+    const double denom = std::max(std::fabs(base_v), opts.abs_floor);
+    if (std::fabs(diff) / denom <= opts.rel_tol) continue;
+    CompareResult::Diff d;
+    d.series = "rollups";
+    d.metric = name;
+    d.base = base_v;
+    d.current = it->second;
+    d.regression = diff > 0;
+    r.diffs.push_back(std::move(d));
+  }
+
   // New metrics in the current artifact are fine (coverage grew).
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -11,7 +11,9 @@ namespace wimpi::bench {
 // record every runtime bench emits with --json=<path>, compared across
 // commits by wimpi_bench_compare. Documented in README.md ("Benchmark
 // artifacts & regression gate"). Bump kArtifactSchemaVersion on any
-// incompatible change; the comparer refuses mismatched versions.
+// incompatible change; the reader accepts every version back to
+// kArtifactMinSchemaVersion (older artifacts simply lack the newer
+// optional sections) and refuses anything newer than it knows.
 //
 // Values are grouped as series -> metric -> value (all doubles, unit
 // `unit`, lower is better). Conventions:
@@ -20,7 +22,12 @@ namespace wimpi::bench {
 //   * measured host quantities: metric name contains "wall", "seconds",
 //     or "speedup" — the comparer treats those as noisy and only gates
 //     them when --wall-tol is set.
-inline constexpr int kArtifactSchemaVersion = 1;
+//
+// v2 adds the optional "rollups" section: cluster-level aggregations of
+// per-node scalars (DistributedRun::node_rollups merged across queries),
+// e.g. "Q1.node.busy_s.skew". Deterministic (modeled), so gateable.
+inline constexpr int kArtifactSchemaVersion = 2;
+inline constexpr int kArtifactMinSchemaVersion = 1;
 
 struct RunArtifact {
   int schema_version = kArtifactSchemaVersion;
@@ -41,6 +48,10 @@ struct RunArtifact {
 
   // Optional process metrics snapshot (obs::MetricsRegistry scalars).
   std::map<std::string, double> metrics;
+
+  // Optional (v2+) cluster rollups: per-node scalars aggregated to
+  // min/max/sum/mean/skew, keyed "Q<n>.node.<metric>.<stat>".
+  std::map<std::string, double> rollups;
 
   std::map<std::string, std::map<std::string, double>> rows;
 };

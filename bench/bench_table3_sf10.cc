@@ -11,7 +11,10 @@
 #include "bench_util.h"
 #include "cluster/wimpi_cluster.h"
 #include "common/cli.h"
+#include "common/file_util.h"
 #include "common/table_printer.h"
+#include "obs/export/event_log.h"
+#include "obs/trace.h"
 #include "paper_data.h"
 
 int main(int argc, char** argv) {
@@ -21,6 +24,18 @@ int main(int argc, char** argv) {
   const wimpi::CommandLine cli(argc, argv);
   const double physical_sf = cli.GetDouble("physical-sf", 0.1);
   const double model_sf = cli.GetDouble("model-sf", 10.0);
+
+  // Output paths are validated before any work happens: a typo'd directory
+  // should fail in milliseconds, not after the whole benchmark.
+  const std::string trace_path = cli.GetString("trace", "");
+  const std::string events_path = cli.GetString("events", "");
+  for (const std::string& path : {trace_path, events_path}) {
+    std::string path_error;
+    if (!path.empty() && !wimpi::ValidateWritablePath(path, &path_error)) {
+      std::fprintf(stderr, "[bench] %s\n", path_error.c_str());
+      return 1;
+    }
+  }
 
   const wimpi::engine::Database db = LoadDb(physical_sf);
   const wimpi::hw::CostModel model;
@@ -124,8 +139,25 @@ int main(int argc, char** argv) {
   // seed-derived fault plan. Answers stay bit-identical to the clean run;
   // only modeled time and the recovery counters change. ---
   const uint64_t fault_seed = static_cast<uint64_t>(cli.GetInt("faults", 0));
+  if ((!trace_path.empty() || !events_path.empty()) && fault_seed == 0) {
+    std::fprintf(stderr,
+                 "[bench] --trace/--events export the degraded-mode "
+                 "timeline; pass --faults <seed> as well\n");
+    return 1;
+  }
   std::map<int, wimpi::cluster::DistributedRun> fault_runs;
   if (fault_seed != 0) {
+    // Telemetry export (--trace/--events): the degraded-mode runs record
+    // span trees and structured events; results and modeled times are
+    // bit-identical either way.
+    if (!trace_path.empty()) {
+      wimpi::obs::TraceSink::Global().Clear();
+      wimpi::obs::TraceSink::Global().set_enabled(true);
+    }
+    if (!events_path.empty()) {
+      wimpi::obs::EventLog::Global().Clear();
+      wimpi::obs::EventLog::Global().set_enabled(true);
+    }
     wimpi::cluster::ClusterOptions fopts;
     fopts.num_nodes = 24;
     fopts.sf_scale = model_sf / physical_sf;
@@ -152,6 +184,17 @@ int main(int argc, char** argv) {
       fault_runs.emplace(q, std::move(*r));
     }
     ft.Print(std::cout);
+    if (!trace_path.empty()) {
+      wimpi::obs::TraceSink::Global().set_enabled(false);
+      if (!wimpi::obs::TraceSink::Global().WriteFile(trace_path)) return 1;
+      std::fprintf(stderr, "[bench] wrote trace %s\n", trace_path.c_str());
+    }
+    if (!events_path.empty()) {
+      wimpi::obs::EventLog::Global().set_enabled(false);
+      if (!wimpi::obs::EventLog::Global().WriteFile(events_path)) return 1;
+      std::fprintf(stderr, "[bench] wrote event log %s\n",
+                   events_path.c_str());
+    }
   }
 
   // --- Machine-readable artifact (--json=path) ---
@@ -180,6 +223,12 @@ int main(int argc, char** argv) {
         f[base + "degraded_s"] = r.degraded_seconds;
         f[base + "retries"] = r.retries;
         f[base + "reassigned"] = r.reassigned_partitions;
+        // Straggler signal, gated like the rest (modeled, deterministic).
+        f[base + "busy_skew"] = r.node_rollups.at("node.busy_s.skew");
+        // Full per-node rollups into the v2 section.
+        for (const auto& [name, v] : r.node_rollups) {
+          artifact.rollups["Q" + std::to_string(q) + "." + name] = v;
+        }
       }
     }
     if (!WriteArtifact(json_path, artifact)) return 1;

@@ -1,0 +1,153 @@
+// Validates an exported distributed trace (and optionally an event log):
+// the CI smoke gate behind `bench_table3_sf10 --trace/--events`. Checks
+// that the JSON parses, that every span's parent resolves inside the same
+// trace, that retry attempts chain to the attempt they retried, that every
+// flow arrow has both ends, and that each event-log line is valid JSON.
+// Exits nonzero with a message on the first structural problem, so a
+// refactor that silently drops spans or breaks causality fails the build.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/json.h"
+
+namespace {
+
+using wimpi::JsonValue;
+
+uint64_t HexField(const JsonValue& args, const char* key) {
+  const JsonValue* v = args.Find(key);
+  if (v == nullptr || !v->is_string()) return 0;
+  return std::strtoull(v->AsString().c_str(), nullptr, 16);
+}
+
+bool Fail(const std::string& msg) {
+  std::fprintf(stderr, "[trace-check] FAIL: %s\n", msg.c_str());
+  return false;
+}
+
+bool CheckTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail("cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  JsonValue doc;
+  std::string error;
+  if (!JsonValue::Parse(text.str(), &doc, &error)) {
+    return Fail(path + " does not parse: " + error);
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail(path + " has no traceEvents array");
+  }
+
+  // First pass: collect every span id per trace.
+  std::map<uint64_t, std::set<uint64_t>> spans_by_trace;
+  std::map<std::string, int> flow_sides;  // "s"/"f" balance per flow id
+  int spans = 0, attempts = 0, faults = 0;
+  for (const JsonValue& e : events->AsArray()) {
+    if (!e.is_object()) return Fail("non-object trace event");
+    const std::string ph = e.GetString("ph", "");
+    if (ph == "M") continue;  // metadata
+    const JsonValue* args = e.Find("args");
+    const uint64_t trace = args != nullptr ? HexField(*args, "trace") : 0;
+    const uint64_t span = args != nullptr ? HexField(*args, "span") : 0;
+    if (span != 0) spans_by_trace[trace].insert(span);
+    if (ph == "X") ++spans;
+    const std::string cat = e.GetString("cat", "");
+    if (cat == "cluster.attempt") ++attempts;
+    if (cat == "cluster.fault") ++faults;
+    if (ph == "s" || ph == "f") {
+      const JsonValue* id = e.Find("id");
+      if (id == nullptr || !id->is_string()) {
+        return Fail("flow event without id");
+      }
+      flow_sides[id->AsString()] += ph == "s" ? 1 : -1;
+    }
+  }
+  if (spans == 0) return Fail(path + " contains no spans");
+  if (attempts == 0) return Fail(path + " contains no cluster.attempt spans");
+
+  // Second pass: every parent reference must resolve within its trace.
+  int orphans = 0;
+  for (const JsonValue& e : events->AsArray()) {
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr) continue;
+    const uint64_t trace = HexField(*args, "trace");
+    const uint64_t parent = HexField(*args, "parent");
+    if (parent == 0) continue;
+    if (spans_by_trace[trace].count(parent) == 0) {
+      ++orphans;
+      std::fprintf(stderr,
+                   "[trace-check] orphan: event '%s' parent %llx not in "
+                   "trace %llx\n",
+                   e.GetString("name", "?").c_str(),
+                   static_cast<unsigned long long>(parent),
+                   static_cast<unsigned long long>(trace));
+    }
+  }
+  if (orphans > 0) {
+    return Fail(std::to_string(orphans) + " orphaned parent reference(s)");
+  }
+  for (const auto& [id, balance] : flow_sides) {
+    if (balance != 0) return Fail("unbalanced flow id " + id);
+  }
+
+  std::fprintf(stderr,
+               "[trace-check] %s OK: %d spans (%d attempts, %d faults), "
+               "%zu trace(s), %zu flow(s)\n",
+               path.c_str(), spans, attempts, faults, spans_by_trace.size(),
+               flow_sides.size());
+  return true;
+}
+
+bool CheckEventLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail("cannot read " + path);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++n;
+    JsonValue doc;
+    std::string error;
+    if (!JsonValue::Parse(line, &doc, &error)) {
+      return Fail(path + " line " + std::to_string(n) +
+                  " does not parse: " + error);
+    }
+    for (const char* key : {"ts_us", "level", "component", "event"}) {
+      if (doc.Find(key) == nullptr) {
+        return Fail(path + " line " + std::to_string(n) + " misses '" +
+                    std::string(key) + "'");
+      }
+    }
+  }
+  if (n == 0) return Fail(path + " is empty");
+  std::fprintf(stderr, "[trace-check] %s OK: %d event(s)\n", path.c_str(), n);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: wimpi_trace_check <trace.json> [--events <path>]\n");
+    return 2;
+  }
+  const std::string trace_path = cli.positional()[0];
+  const std::string events_path = cli.GetString("events", "");
+
+  if (!CheckTrace(trace_path)) return 1;
+  if (!events_path.empty() && !CheckEventLog(events_path)) return 1;
+  return 0;
+}

@@ -16,15 +16,19 @@
 // is hidden (containers, VMs, perf_event_paranoid).
 //
 //   ./examples/wimpi_profile [--sf 0.1] [--q 1,6] [--threads 4]
-//                            [--trace trace.json] [--metrics] [--perf]
+//                            [--trace trace.json] [--json profile.json]
+//                            [--metrics] [--metrics-prom metrics.prom]
+//                            [--perf]
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/file_util.h"
 #include "engine/executor.h"
 #include "hw/cost_model.h"
 #include "hw/host_anchor.h"
+#include "obs/export/exposition.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/residual.h"
@@ -33,6 +37,17 @@
 #include "tpch/queries.h"
 
 namespace {
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 std::vector<int> ParseQueries(const std::string& spec) {
   std::vector<int> out;
@@ -56,10 +71,27 @@ int main(int argc, char** argv) {
   const double sf = cli.GetDouble("sf", 0.1);
   const int threads = static_cast<int>(cli.GetInt("threads", 1));
   const std::string trace_path = cli.GetString("trace", "");
-  const bool pool_metrics = cli.GetBool("metrics", false);
+  const std::string json_path = cli.GetString("json", "");
+  // --metrics-prom with no value prints the exposition to stdout; with a
+  // value it writes the file.
+  std::string prom_path = cli.GetString("metrics-prom", "");
+  const bool prom_stdout = prom_path == "true";
+  if (prom_stdout) prom_path.clear();
+  const bool pool_metrics = cli.GetBool("metrics", false) || prom_stdout ||
+                            !prom_path.empty();
   const bool residuals = cli.GetBool("residual", true);
   const bool perf = cli.GetBool("perf", false);
   const std::vector<int> queries = ParseQueries(cli.GetString("q", "1,6"));
+
+  // Fail on unwritable output paths before generating data and running
+  // queries, not after.
+  for (const std::string& path : {trace_path, json_path, prom_path}) {
+    std::string path_error;
+    if (!path.empty() && !wimpi::ValidateWritablePath(path, &path_error)) {
+      std::fprintf(stderr, "%s\n", path_error.c_str());
+      return 1;
+    }
+  }
 
   wimpi::tpch::GenOptions gen;
   gen.scale_factor = sf;
@@ -84,6 +116,7 @@ int main(int argc, char** argv) {
   const wimpi::hw::CostModel model;
   const wimpi::hw::HardwareProfile host = wimpi::hw::HostProfile();
 
+  std::string profiles_json;  // accumulated {"Q1":{...},...} for --json
   for (const int q : queries) {
     wimpi::exec::QueryStats stats;
     wimpi::obs::QueryProfile profile;
@@ -96,6 +129,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.num_rows()),
                 result.num_rows() == 1 ? "" : "s");
     std::printf("%s", profile.FormatTree().c_str());
+    if (!json_path.empty()) {
+      if (!profiles_json.empty()) profiles_json += ",";
+      profiles_json += "\"Q" + std::to_string(q) + "\":" + profile.ToJson();
+    }
     if (residuals) {
       const wimpi::obs::ResidualReport report =
           wimpi::obs::CostModelResiduals(profile, model, host, threads);
@@ -111,11 +148,24 @@ int main(int argc, char** argv) {
     std::printf("\n--- pool metrics ---\n%s",
                 wimpi::obs::MetricsRegistry::Global().FormatText().c_str());
   }
+  if (prom_stdout) {
+    std::printf("\n--- prometheus exposition ---\n%s",
+                wimpi::obs::ExpositionFormat::WriteGlobal().c_str());
+  }
+  if (!prom_path.empty()) {
+    if (!WriteTextFile(prom_path, wimpi::obs::ExpositionFormat::WriteGlobal()))
+      return 1;
+    std::printf("\nWrote Prometheus exposition to %s\n", prom_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!WriteTextFile(json_path, "{\"queries\":{" + profiles_json + "}}\n"))
+      return 1;
+    std::printf("\nWrote profile JSON to %s\n", json_path.c_str());
+  }
   if (!trace_path.empty()) {
-    if (wimpi::obs::TraceSink::Global().WriteFile(trace_path)) {
-      std::printf("\nWrote %zu trace events to %s\n",
-                  wimpi::obs::TraceSink::Global().size(), trace_path.c_str());
-    }
+    if (!wimpi::obs::TraceSink::Global().WriteFile(trace_path)) return 1;
+    std::printf("\nWrote %zu trace events to %s\n",
+                wimpi::obs::TraceSink::Global().size(), trace_path.c_str());
   }
   return 0;
 }

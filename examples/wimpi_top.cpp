@@ -1,0 +1,115 @@
+// wimpi_top: `top` for the simulated WIMPI cluster. Runs a distributed
+// TPC-H query under a seed-derived fault plan and renders a per-node
+// utilization/retry table — the straggler-diagnosis view: which node is
+// throttled, which one died, where the retries went, and how skewed the
+// busy time ended up (skew = max/mean; 1.0 means perfectly balanced).
+//
+// With --iters N it steps through N consecutive fault seeds; --follow
+// redraws in place (ANSI clear) so the table reads like a live dashboard.
+//
+//   ./examples/wimpi_top [--query 1] [--sf 0.05] [--model-sf 10]
+//                        [--nodes 24] [--seed 42] [--iters 1] [--follow]
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/wimpi_cluster.h"
+#include "common/cli.h"
+#include "common/table_printer.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+struct NodeStats {
+  double busy_s = 0;
+  int attempts = 0;
+  int failed = 0;
+  int partitions = 0;  // successful attempts == partitions served
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using wimpi::TablePrinter;
+
+  const wimpi::CommandLine cli(argc, argv);
+  const int query = static_cast<int>(cli.GetInt("query", 1));
+  const double sf = cli.GetDouble("sf", 0.05);
+  const double model_sf = cli.GetDouble("model-sf", 10.0);
+  const int nodes = static_cast<int>(cli.GetInt("nodes", 24));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  const int iters = static_cast<int>(cli.GetInt("iters", 1));
+  const bool follow = cli.GetBool("follow", false);
+
+  if (!wimpi::tpch::InSf10Subset(query)) {
+    std::printf("query must be one of 1,3,4,5,6,13,14,19\n");
+    return 1;
+  }
+
+  wimpi::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  const wimpi::engine::Database db = wimpi::tpch::GenerateDatabase(gen);
+  const wimpi::hw::CostModel model;
+
+  for (int iter = 0; iter < iters; ++iter) {
+    wimpi::cluster::ClusterOptions opts;
+    opts.num_nodes = nodes;
+    opts.sf_scale = model_sf / sf;
+    opts.faults = wimpi::cluster::FaultPlan::Generate(seed + iter, nodes);
+    const wimpi::cluster::WimpiCluster cluster(db, opts);
+    const auto run = cluster.Run(query, model);
+    if (!run.ok()) {
+      std::printf("Q%d seed %llu: %s\n", query,
+                  static_cast<unsigned long long>(seed + iter),
+                  run.status().ToString().c_str());
+      return 1;
+    }
+
+    std::map<int, NodeStats> per_node;
+    for (int n = 0; n < run->nodes_used; ++n) per_node[n];
+    for (const auto& a : run->attempts) {
+      NodeStats& s = per_node[a.node];
+      s.busy_s += a.end_seconds - a.start_seconds;
+      ++s.attempts;
+      if (a.outcome == wimpi::StatusCode::kOk) {
+        ++s.partitions;
+      } else {
+        ++s.failed;
+      }
+    }
+
+    if (follow) std::printf("\x1b[2J\x1b[H");  // clear + home
+    std::printf(
+        "wimpi_top — Q%d, %d nodes, modeled SF %g, fault seed %llu (%s)\n",
+        query, nodes, model_sf,
+        static_cast<unsigned long long>(seed + iter),
+        opts.faults.empty() ? "no faults" : opts.faults.ToString().c_str());
+
+    TablePrinter t({"node", "fault", "parts", "attempts", "failed",
+                    "busy (s)", "util %"});
+    for (const auto& [node, s] : per_node) {
+      const wimpi::cluster::NodeFault* f = opts.faults.FaultFor(node);
+      const double util =
+          run->total_seconds > 0 ? 100.0 * s.busy_s / run->total_seconds : 0;
+      t.AddRow({std::to_string(node),
+                f != nullptr ? wimpi::cluster::FaultKindName(f->kind) : "-",
+                std::to_string(s.partitions), std::to_string(s.attempts),
+                std::to_string(s.failed), TablePrinter::Fixed(s.busy_s, 3),
+                TablePrinter::Fixed(util, 1)});
+    }
+    t.Print(std::cout);
+
+    const auto& roll = run->node_rollups;
+    std::printf(
+        "total %.3f s (degraded +%.3f s) | %d retries, %d reassigned, "
+        "%d node(s) lost | busy skew %.2f (max/mean)\n",
+        run->total_seconds, run->degraded_seconds, run->retries,
+        run->reassigned_partitions, run->nodes_failed,
+        roll.count("node.busy_s.skew") ? roll.at("node.busy_s.skew") : 0.0);
+  }
+  return 0;
+}

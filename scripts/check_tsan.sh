@@ -16,7 +16,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" \
   --target parallel_test parallel_queries_test obs_test obs_queries_test \
-           obs_perf_test memory_tracker_test fault_test -j
+           obs_perf_test obs_export_test memory_tracker_test fault_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -30,6 +30,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # worker threads would surface here (profiled runs at every thread count).
 "${build_dir}/tests/obs_test"
 "${build_dir}/tests/obs_queries_test"
+# Telemetry export: distributed-trace emission, the event-log ring, and
+# the exposition writer against traced fault-injected cluster runs.
+"${build_dir}/tests/obs_export_test"
 # Perf-counter attach/detach around worker threads, and the MemoryTracker
 # concurrent used/peak accounting.
 "${build_dir}/tests/obs_perf_test"

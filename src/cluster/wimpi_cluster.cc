@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "cluster/partials.h"
 #include "cluster/partition.h"
 #include "exec/exec_options.h"
+#include "obs/export/aggregate.h"
+#include "obs/export/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/tracing/span.h"
 #include "parallel/cancellation.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -62,25 +66,146 @@ struct PartitionExec {
   double working_set = 0;
 };
 
-// Emits the per-attempt timeline as Chrome trace-event spans on modeled
-// time (microseconds of simulated node clock), one row per node.
-void TraceAttempts(int q, const std::vector<AttemptRecord>& attempts) {
+// Trace lanes on the modeled-time process: tid 0 is the run itself, one
+// row per node for attempts/faults, one row per partition for the
+// umbrella spans (so retry chains bouncing across nodes stay readable).
+int NodeLane(int node) { return 1 + node; }
+int PartitionLane(int p) { return 1000 + p; }
+
+int64_t ModeledUs(double seconds) {
+  return static_cast<int64_t>(seconds * 1e6);
+}
+
+// What failed: the injected fault's kind for unavailable attempts, the
+// deadline for abandoned stragglers.
+const char* FaultLabel(const AttemptRecord& a, const FaultPlan& plan) {
+  if (a.outcome == StatusCode::kDeadlineExceeded) return "timeout";
+  const NodeFault* f = plan.FaultFor(a.node);
+  return f != nullptr ? FaultKindName(f->kind) : "unavailable";
+}
+
+// Exports the run's modeled timeline as one causal span tree under
+// `root`:
+//
+//   Q<q> distributed                      (root, lane 0)
+//   `- partition p                        (lane 1000+p)
+//      `- attempt 0 on its home node      (lane 1+node)
+//         `- attempt 1 ...                (retry chain: each retry is a
+//            `- attempt 2 ...              child of the attempt it retries)
+//
+// Every failed attempt additionally gets a fault instant event (child of
+// the failed attempt) and a flow arrow from the failure to the retry or
+// reassigned attempt it triggered, so a straggler's recovery history reads
+// directly off the trace.
+void EmitClusterTrace(int q, const DistributedRun& run, const FaultPlan& plan,
+                      const obs::SpanContext& root) {
   auto& sink = obs::TraceSink::Global();
-  for (const AttemptRecord& a : attempts) {
-    char name[64];
-    std::snprintf(name, sizeof(name), "Q%d p%d try%d", q, a.partition,
-                  a.attempt);
-    char args[160];
+
+  {
+    obs::TraceEvent e;
+    e.name = "Q" + std::to_string(q) + " distributed";
+    e.category = "cluster";
+    e.pid = obs::kTracePidCluster;
+    e.tid = 0;
+    e.ts_us = 0;
+    e.dur_us = ModeledUs(run.total_seconds);
+    e.trace_id = root.trace_id;
+    e.span_id = root.span_id;
+    char args[120];
     std::snprintf(args, sizeof(args),
-                  "{\"partition\":%d,\"node\":%d,\"attempt\":%d,"
-                  "\"outcome\":\"%s\"}",
-                  a.partition, a.node, a.attempt,
-                  Status::CodeName(a.outcome).c_str());
-    sink.RecordComplete(name, "cluster",
-                        static_cast<int64_t>(a.start_seconds * 1e6),
-                        static_cast<int64_t>((a.end_seconds - a.start_seconds) *
-                                             1e6),
-                        args);
+                  "{\"nodes\":%d,\"retries\":%d,\"reassigned\":%d}",
+                  run.nodes_used, run.retries, run.reassigned_partitions);
+    e.args_json = args;
+    sink.Record(std::move(e));
+  }
+
+  // Group the (partition-ordered) timeline by partition.
+  std::map<int, std::vector<const AttemptRecord*>> by_partition;
+  for (const AttemptRecord& a : run.attempts) {
+    by_partition[a.partition].push_back(&a);
+  }
+
+  for (const auto& [p, attempts] : by_partition) {
+    obs::TraceEvent part;
+    part.name = "partition " + std::to_string(p);
+    part.category = "cluster.partition";
+    part.pid = obs::kTracePidCluster;
+    part.tid = PartitionLane(p);
+    part.ts_us = ModeledUs(attempts.front()->start_seconds);
+    part.dur_us = ModeledUs(attempts.back()->end_seconds) - part.ts_us;
+    part.trace_id = root.trace_id;
+    part.span_id = obs::NewSpanId();
+    part.parent_id = root.span_id;
+    const uint64_t partition_span = part.span_id;
+    sink.Record(std::move(part));
+
+    uint64_t prev_span = partition_span;
+    for (size_t i = 0; i < attempts.size(); ++i) {
+      const AttemptRecord& a = *attempts[i];
+      obs::TraceEvent e;
+      char name[64];
+      std::snprintf(name, sizeof(name), "Q%d p%d try%d", q, a.partition,
+                    a.attempt);
+      e.name = name;
+      e.category = "cluster.attempt";
+      e.pid = obs::kTracePidCluster;
+      e.tid = NodeLane(a.node);
+      e.ts_us = ModeledUs(a.start_seconds);
+      e.dur_us = ModeledUs(a.end_seconds) - e.ts_us;
+      e.trace_id = root.trace_id;
+      e.span_id = obs::NewSpanId();
+      e.parent_id = prev_span;
+      char args[120];
+      std::snprintf(
+          args, sizeof(args),
+          "{\"partition\":%d,\"node\":%d,\"attempt\":%d,\"outcome\":\"%s\"}",
+          a.partition, a.node, a.attempt,
+          Status::CodeName(a.outcome).c_str());
+      e.args_json = args;
+      const uint64_t attempt_span = e.span_id;
+      sink.Record(std::move(e));
+
+      if (a.outcome != StatusCode::kOk) {
+        obs::TraceEvent fault;
+        fault.name = FaultLabel(a, plan);
+        fault.category = "cluster.fault";
+        fault.phase = 'i';
+        fault.pid = obs::kTracePidCluster;
+        fault.tid = NodeLane(a.node);
+        fault.ts_us = ModeledUs(a.end_seconds);
+        fault.trace_id = root.trace_id;
+        fault.span_id = obs::NewSpanId();
+        fault.parent_id = attempt_span;
+        sink.Record(std::move(fault));
+
+        if (i + 1 < attempts.size()) {
+          // Causal arrow: this failure triggered the next attempt.
+          const AttemptRecord& next = *attempts[i + 1];
+          const uint64_t flow = obs::NewSpanId();
+          obs::TraceEvent s;
+          s.name = "retry";
+          s.category = "cluster.flow";
+          s.phase = 's';
+          s.pid = obs::kTracePidCluster;
+          s.tid = NodeLane(a.node);
+          s.ts_us = ModeledUs(a.end_seconds);
+          s.trace_id = root.trace_id;
+          s.flow_id = flow;
+          sink.Record(std::move(s));
+          obs::TraceEvent f;
+          f.name = "retry";
+          f.category = "cluster.flow";
+          f.phase = 'f';
+          f.pid = obs::kTracePidCluster;
+          f.tid = NodeLane(next.node);
+          f.ts_us = ModeledUs(next.start_seconds);
+          f.trace_id = root.trace_id;
+          f.flow_id = flow;
+          sink.Record(std::move(f));
+        }
+      }
+      prev_span = attempt_span;
+    }
   }
 }
 
@@ -102,6 +227,26 @@ Result<DistributedRun> WimpiCluster::Run(int q,
   DistributedRun run;
   run.nodes_used = nodes;
 
+  // Tracing context, allocated up front so the real-clock partial
+  // executions and the modeled timeline emitted at the end share one
+  // trace id. Purely observational: a traced run computes the exact same
+  // schedule, times, and result as an untraced one.
+  const bool traced = obs::TraceSink::Global().enabled();
+  obs::SpanContext root_ctx;
+  if (traced) {
+    root_ctx.trace_id = obs::NewTraceId();
+    root_ctx.span_id = obs::NewSpanId();
+    run.trace_id = root_ctx.trace_id;
+  }
+  auto& elog = obs::EventLog::Global();
+  if (elog.enabled()) {
+    elog.Record(obs::EventLevel::kInfo, "cluster", "run.start",
+                {{"q", q},
+                 {"nodes", nodes},
+                 {"fault_nodes", static_cast<int>(plan.faults.size())},
+                 {"seed", static_cast<double>(plan.seed)}});
+  }
+
   // Partial-result sizes that scale with data (per-group outputs like Q3's)
   // are projected to the model SF; few-row aggregates are not.
   auto scaled_bytes = [&](const exec::Relation& r) {
@@ -118,13 +263,21 @@ Result<DistributedRun> WimpiCluster::Run(int q,
     PartitionExec& pe = parts[p];
     if (pe.done) return pe;
     exec::QueryStats stats;
-    if (plan.empty()) {
-      pe.partial = RunPartial(q, node_dbs_[p], &stats);
-    } else {
-      exec::ExecOptions eopts = exec::CurrentExecOptions();
-      eopts.cancellation = &cancel;
-      exec::ScopedExecOptions scope(eopts);
-      pe.partial = RunPartial(q, node_dbs_[p], &stats);
+    {
+      // Join the host-side execution (operator scopes, morsel tasks on
+      // pool workers) to the distributed trace: the partial's real-clock
+      // spans become children of the run's modeled root span.
+      obs::ScopedSpanContext adopt(traced ? root_ctx
+                                          : obs::CurrentSpanContext());
+      obs::Span span("partial p" + std::to_string(p), "cluster.exec", "");
+      if (plan.empty()) {
+        pe.partial = RunPartial(q, node_dbs_[p], &stats);
+      } else {
+        exec::ExecOptions eopts = exec::CurrentExecOptions();
+        eopts.cancellation = &cancel;
+        exec::ScopedExecOptions scope(eopts);
+        pe.partial = RunPartial(q, node_dbs_[p], &stats);
+      }
     }
     stats.Scale(opts_.sf_scale);
     pe.work_s = model.WorkSeconds(pi, stats, opts_.threads_per_node);
@@ -173,12 +326,22 @@ Result<DistributedRun> WimpiCluster::Run(int q,
         }
         if (best < 0) {
           cancel.Cancel();  // stop any in-flight partial work promptly
+          if (elog.enabled()) {
+            elog.Record(obs::EventLevel::kError, "cluster", "run.aborted",
+                        {{"q", q}, {"reason", std::string("every node failed")}});
+          }
           std::string msg = "Q";
           msg += std::to_string(q);
           msg += ": every node failed (plan: ";
           msg += plan.ToString();
           msg += ")";
           return Status::Unavailable(std::move(msg));
+        }
+        if (elog.enabled()) {
+          elog.Record(obs::EventLevel::kInfo, "cluster",
+                      "partition.reassigned",
+                      {{"q", q}, {"partition", p}, {"from", node},
+                       {"to", best}});
         }
         node = best;
         tries_on_node = 0;
@@ -253,12 +416,25 @@ Result<DistributedRun> WimpiCluster::Run(int q,
         alive[node] = 0;
         --live;
         ++run.nodes_failed;
+        if (elog.enabled()) {
+          elog.Record(obs::EventLevel::kWarn, "cluster", "node.died",
+                      {{"q", q}, {"node", node}, {"t_s", end}});
+        }
       }
       if (outcome == StatusCode::kOk) {
         node_spill[node] += pe.spill_s;
         done = true;
       } else {
         ++run.retries;
+        if (elog.enabled()) {
+          elog.Record(obs::EventLevel::kWarn, "cluster", "attempt.failed",
+                      {{"q", q},
+                       {"partition", p},
+                       {"node", node},
+                       {"attempt", attempt_idx - 1},
+                       {"outcome", Status::CodeName(outcome)},
+                       {"t_s", end}});
+        }
         if (alive[node]) {
           ++tries_on_node;
           if (tries_on_node >= opts_.max_retries && live > 1) {
@@ -269,6 +445,12 @@ Result<DistributedRun> WimpiCluster::Run(int q,
               if (best < 0 || node_clock[n] < node_clock[best]) best = n;
             }
             if (best >= 0) {
+              if (elog.enabled()) {
+                elog.Record(obs::EventLevel::kInfo, "cluster",
+                            "partition.reassigned",
+                            {{"q", q}, {"partition", p}, {"from", node},
+                             {"to", best}});
+              }
               node = best;
               tries_on_node = 0;
               if (node != home && !assigned_away) {
@@ -325,6 +507,28 @@ Result<DistributedRun> WimpiCluster::Run(int q,
                       run.network_seconds + run.merge_seconds;
   run.result = std::move(merged);
 
+  // Per-node scalar rollups (straggler diagnosis): min/max/sum/mean/skew
+  // of each node's modeled load. Derived from modeled quantities only, so
+  // identical whether or not tracing was on.
+  {
+    std::vector<int> n_attempts(pool_nodes, 0);
+    std::vector<int> n_failed(pool_nodes, 0);
+    for (const AttemptRecord& a : run.attempts) {
+      ++n_attempts[a.node];
+      if (a.outcome != StatusCode::kOk) ++n_failed[a.node];
+    }
+    const int roll_nodes = fan_out ? pool_nodes : 1;
+    std::vector<std::map<std::string, double>> per_node(roll_nodes);
+    for (int n = 0; n < roll_nodes; ++n) {
+      per_node[n]["node.busy_s"] = node_clock[n];
+      per_node[n]["node.spill_s"] = node_spill[n];
+      per_node[n]["node.attempts"] = n_attempts[n];
+      per_node[n]["node.failed_attempts"] = n_failed[n];
+      per_node[n]["node.dead"] = alive[n] ? 0.0 : 1.0;
+    }
+    run.node_rollups = obs::AggregateNodeScalars(per_node);
+  }
+
   if (!plan.empty()) {
     auto& reg = obs::MetricsRegistry::Global();
     reg.counter("cluster.fault.attempts")
@@ -333,7 +537,15 @@ Result<DistributedRun> WimpiCluster::Run(int q,
     reg.counter("cluster.fault.reassigned_partitions")
         .Add(run.reassigned_partitions);
     reg.counter("cluster.fault.nodes_failed").Add(run.nodes_failed);
-    if (obs::TraceSink::Global().enabled()) TraceAttempts(q, run.attempts);
+  }
+  if (traced) EmitClusterTrace(q, run, plan, root_ctx);
+  if (elog.enabled()) {
+    elog.Record(obs::EventLevel::kInfo, "cluster", "run.complete",
+                {{"q", q},
+                 {"total_s", run.total_seconds},
+                 {"retries", run.retries},
+                 {"reassigned", run.reassigned_partitions},
+                 {"nodes_failed", run.nodes_failed}});
   }
   return run;
 }

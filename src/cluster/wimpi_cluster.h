@@ -1,7 +1,10 @@
 #ifndef WIMPI_CLUSTER_WIMPI_CLUSTER_H_
 #define WIMPI_CLUSTER_WIMPI_CLUSTER_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/fault.h"
@@ -85,6 +88,18 @@ struct DistributedRun {
   // Per-attempt timeline in partition order (one kOk entry per partition
   // on a clean run).
   std::vector<AttemptRecord> attempts;
+
+  // ---- telemetry (populated only while the trace sink is enabled) ----
+  // Id of the distributed trace this run exported: the modeled span tree
+  // (root -> partition -> attempt chain) and the real-clock partial
+  // executions all carry it. 0 on an untraced run.
+  uint64_t trace_id = 0;
+
+  // Cluster-level rollups of per-node scalars (busy_s, spill_s, attempts,
+  // retries, failed), each expanded to .min/.max/.sum/.mean/.skew — the
+  // straggler diagnosis view (skew = max/mean; 1.0 means balanced). Always
+  // populated; derived purely from modeled quantities, so deterministic.
+  std::map<std::string, double> node_rollups;
 };
 
 // Simulated WIMPI cluster: lineitem is hash-partitioned on l_orderkey

@@ -1,0 +1,31 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace wimpi {
+
+bool ValidateWritablePath(const std::string& path, std::string* error) {
+  if (path.empty()) {
+    if (error != nullptr) *error = "output path is empty";
+    return false;
+  }
+  // Probe existence first so we know whether to clean up our probe file.
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  const bool existed = probe != nullptr;
+  if (probe != nullptr) std::fclose(probe);
+
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot write " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  std::fclose(f);
+  if (!existed) std::remove(path.c_str());
+  return true;
+}
+
+}  // namespace wimpi

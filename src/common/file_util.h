@@ -1,0 +1,18 @@
+#ifndef WIMPI_COMMON_FILE_UTIL_H_
+#define WIMPI_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+namespace wimpi {
+
+// Checks up front that `path` can be opened for writing, so tools taking
+// an output path fail before doing minutes of work, not after. Opens the
+// file in append mode (existing contents untouched) and removes it again
+// if this probe created it. Returns false and fills *error (with the
+// failing path) when the path is unwritable — missing directory, no
+// permission, path is a directory, ...
+bool ValidateWritablePath(const std::string& path, std::string* error);
+
+}  // namespace wimpi
+
+#endif  // WIMPI_COMMON_FILE_UTIL_H_

@@ -140,6 +140,21 @@ JsonWriter& JsonWriter::Raw(const std::string& json) {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawMembers(const std::string& obj_json) {
+  WIMPI_CHECK(!stack_.empty() && stack_.back().kind == '{' &&
+              !stack_.back().pending_key)
+      << "JsonWriter: RawMembers() needs an open object and no pending key";
+  WIMPI_CHECK(obj_json.size() >= 2 && obj_json.front() == '{' &&
+              obj_json.back() == '}')
+      << "JsonWriter: RawMembers() takes a brace-wrapped object";
+  const std::string inner = obj_json.substr(1, obj_json.size() - 2);
+  if (inner.empty()) return *this;
+  if (stack_.back().has_items) out_ += ',';
+  stack_.back().has_items = true;
+  out_ += inner;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Int(int64_t v) {
   return Raw(std::to_string(v));
 }

@@ -46,6 +46,14 @@ class JsonWriter {
   // value. The caller guarantees `json` is well formed.
   JsonWriter& Raw(const std::string& json);
 
+  // Splices the members of a pre-rendered JSON object (`"{...}"`) into the
+  // currently open object, handling the comma bookkeeping. Lets exporters
+  // merge caller-provided args objects with their own keys without
+  // re-parsing. CHECK-fails when `obj_json` is not brace-wrapped or no
+  // object is open; the caller guarantees the members are well formed and
+  // do not duplicate keys already written.
+  JsonWriter& RawMembers(const std::string& obj_json);
+
   // Complete document; CHECK-fails while containers are still open.
   const std::string& str() const;
 

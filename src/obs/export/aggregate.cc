@@ -1,0 +1,38 @@
+#include "obs/export/aggregate.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wimpi::obs {
+
+std::map<std::string, double> AggregateNodeScalars(
+    const std::vector<std::map<std::string, double>>& per_node) {
+  std::map<std::string, double> out;
+  if (per_node.empty()) return out;
+  std::set<std::string> keys;
+  for (const auto& node : per_node) {
+    for (const auto& [k, _] : node) keys.insert(k);
+  }
+  const double n = static_cast<double>(per_node.size());
+  for (const std::string& k : keys) {
+    double mn = 0, mx = 0, sum = 0;
+    bool first = true;
+    for (const auto& node : per_node) {
+      const auto it = node.find(k);
+      const double v = it == node.end() ? 0.0 : it->second;
+      mn = first ? v : std::min(mn, v);
+      mx = first ? v : std::max(mx, v);
+      sum += v;
+      first = false;
+    }
+    const double mean = sum / n;
+    out[k + ".min"] = mn;
+    out[k + ".max"] = mx;
+    out[k + ".sum"] = sum;
+    out[k + ".mean"] = mean;
+    out[k + ".skew"] = mean == 0 ? 0 : mx / mean;
+  }
+  return out;
+}
+
+}  // namespace wimpi::obs

@@ -1,0 +1,23 @@
+#ifndef WIMPI_OBS_EXPORT_AGGREGATE_H_
+#define WIMPI_OBS_EXPORT_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wimpi::obs {
+
+// Rolls per-node scalar snapshots up into cluster-level statistics. Each
+// input map is one node's metrics (same key space across nodes, missing
+// keys treated as 0). For every key K the result holds:
+//   K.min / K.max / K.sum / K.mean   — over all nodes
+//   K.skew                          — max / mean (0 when mean is 0); the
+//                                     straggler signal: 1.0 = perfectly
+//                                     balanced, larger = one node is doing
+//                                     disproportionate work.
+std::map<std::string, double> AggregateNodeScalars(
+    const std::vector<std::map<std::string, double>>& per_node);
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_EXPORT_AGGREGATE_H_

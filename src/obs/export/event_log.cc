@@ -1,0 +1,130 @@
+#include "obs/export/event_log.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+
+namespace wimpi::obs {
+
+const char* EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug:
+      return "debug";
+    case EventLevel::kInfo:
+      return "info";
+    case EventLevel::kWarn:
+      return "warn";
+    case EventLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::set_min_level(EventLevel level) {
+  min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+EventLevel EventLog::min_level() const {
+  return static_cast<EventLevel>(min_level_.load(std::memory_order_relaxed));
+}
+
+void EventLog::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EventLog::Record(EventLevel level, std::string component,
+                      std::string event, std::vector<EventField> fields) {
+  // Call sites on hot paths guard on enabled() before building fields;
+  // this re-check makes unguarded calls safe too.
+  if (!enabled()) return;
+  if (static_cast<int>(level) < min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  EventRecord rec;
+  rec.ts_us = NowMicros();
+  rec.level = level;
+  rec.component = std::move(component);
+  rec.event = std::move(event);
+  rec.tid = TraceSink::CurrentThreadId();
+  rec.fields = std::move(fields);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(rec));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<EventRecord> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string EventLog::ToJsonl() const {
+  const std::vector<EventRecord> events = Snapshot();
+  std::string out;
+  for (const EventRecord& rec : events) {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("ts_us").Int(rec.ts_us)
+        .Key("level").String(EventLevelName(rec.level))
+        .Key("component").String(rec.component)
+        .Key("event").String(rec.event)
+        .Key("tid").Int(rec.tid);
+    for (const EventField& f : rec.fields) {
+      w.Key(f.key);
+      if (f.is_number) {
+        w.Double(f.num);
+      } else {
+        w.String(f.str);
+      }
+    }
+    w.EndObject();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool EventLog::WriteFile(const std::string& path) const {
+  const std::string text = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    WIMPI_LOG(Error) << "cannot open event log file " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  // fclose flushes; a full disk can surface only here.
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    WIMPI_LOG(Error) << "short write to event log file " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wimpi::obs

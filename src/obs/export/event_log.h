@@ -1,0 +1,97 @@
+#ifndef WIMPI_OBS_EXPORT_EVENT_LOG_H_
+#define WIMPI_OBS_EXPORT_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wimpi::obs {
+
+enum class EventLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* EventLevelName(EventLevel level);
+
+// One typed key/value pair of a structured event. Numbers stay numbers in
+// the JSONL rendering so consumers never parse strings back into doubles.
+struct EventField {
+  EventField(std::string k, std::string v)
+      : key(std::move(k)), str(std::move(v)), is_number(false) {}
+  EventField(std::string k, double v)
+      : key(std::move(k)), num(v), is_number(true) {}
+  EventField(std::string k, int64_t v)
+      : EventField(std::move(k), static_cast<double>(v)) {}
+  EventField(std::string k, int v)
+      : EventField(std::move(k), static_cast<double>(v)) {}
+
+  std::string key;
+  std::string str;
+  double num = 0;
+  bool is_number;
+};
+
+// One recorded event: a component ("cluster", "scheduler", ...), a
+// machine-matchable event name ("attempt.failed"), and flat fields.
+struct EventRecord {
+  int64_t ts_us = 0;
+  EventLevel level = EventLevel::kInfo;
+  std::string component;
+  std::string event;
+  int tid = 0;
+  std::vector<EventField> fields;
+};
+
+// Process-wide structured event log: leveled, ring-buffered, thread-safe.
+// Replaces free-form WIMPI_LOG strings on the cluster/fault/scheduler
+// paths with machine-parseable JSONL. Off by default — a disabled log
+// costs one relaxed atomic load per call site; nothing else runs.
+//
+// The ring bounds memory on long runs: once `capacity` events are held the
+// oldest are evicted and `dropped()` counts what was lost, so consumers
+// can tell a complete log from a truncated one.
+class EventLog {
+ public:
+  static EventLog& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Events below this level are discarded at Record() time.
+  void set_min_level(EventLevel level);
+  EventLevel min_level() const;
+
+  // Ring size; shrinking evicts oldest events immediately.
+  void set_capacity(size_t capacity);
+
+  void Record(EventLevel level, std::string component, std::string event,
+              std::vector<EventField> fields = {});
+
+  std::vector<EventRecord> Snapshot() const;
+  size_t size() const;
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  // One JSON object per line:
+  //   {"ts_us":...,"level":"info","component":"cluster",
+  //    "event":"attempt.failed","tid":0,<fields...>}
+  std::string ToJsonl() const;
+
+  // Returns false (and logs) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  EventLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> min_level_{static_cast<int>(EventLevel::kInfo)};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = 4096;
+  std::deque<EventRecord> events_;
+};
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_EXPORT_EVENT_LOG_H_

@@ -1,0 +1,135 @@
+#include "obs/export/exposition.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/json.h"
+
+namespace wimpi::obs {
+
+namespace {
+
+void WriteSample(std::string& out, const std::string& name,
+                 const std::string& labels, double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += JsonNumber(value);
+  out += '\n';
+}
+
+void WriteType(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string ExpositionFormat::SanitizeName(const std::string& name) {
+  std::string out = "wimpi_";
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string ExpositionFormat::Write(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = SanitizeName(name);
+    WriteType(out, n, "counter");
+    WriteSample(out, n, "", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = SanitizeName(name);
+    WriteType(out, n, "gauge");
+    WriteSample(out, n, "", value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = SanitizeName(name);
+    WriteType(out, n, "histogram");
+    // Prometheus buckets are cumulative: each le bound counts everything
+    // at or below it, ending in the le="+Inf" total.
+    int64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.bucket_counts.size() ? h.bucket_counts[i] : 0;
+      WriteSample(out, n + "_bucket",
+                  "le=\"" + JsonNumber(h.bounds[i]) + "\"",
+                  static_cast<double>(cum));
+    }
+    WriteSample(out, n + "_bucket", "le=\"+Inf\"",
+                static_cast<double>(h.count));
+    WriteSample(out, n + "_sum", "", h.sum);
+    WriteSample(out, n + "_count", "", static_cast<double>(h.count));
+  }
+  return out;
+}
+
+std::string ExpositionFormat::WriteGlobal() {
+  return Write(MetricsRegistry::Global().SnapshotAll());
+}
+
+bool ExpositionFormat::Parse(const std::string& text,
+                             std::vector<ExpositionSample>* out,
+                             std::string* error) {
+  out->clear();
+  size_t pos = 0;
+  int line_no = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "exposition line " + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  };
+  while (pos < text.size()) {
+    ++line_no;
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    ExpositionSample sample;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    if (i == 0) return fail("missing metric name");
+    sample.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string::npos) return fail("unterminated labels");
+      std::string labels = line.substr(i + 1, close - i - 1);
+      size_t lp = 0;
+      while (lp < labels.size()) {
+        const size_t eq = labels.find('=', lp);
+        if (eq == std::string::npos || eq + 1 >= labels.size() ||
+            labels[eq + 1] != '"') {
+          return fail("malformed label");
+        }
+        const size_t endq = labels.find('"', eq + 2);
+        if (endq == std::string::npos) return fail("unterminated label value");
+        sample.labels[labels.substr(lp, eq - lp)] =
+            labels.substr(eq + 2, endq - eq - 2);
+        lp = endq + 1;
+        if (lp < labels.size() && labels[lp] == ',') ++lp;
+      }
+      i = close + 1;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) return fail("missing sample value");
+    char* end = nullptr;
+    sample.value = std::strtod(line.c_str() + i, &end);
+    if (end == line.c_str() + i) return fail("malformed sample value");
+    out->push_back(std::move(sample));
+  }
+  return true;
+}
+
+}  // namespace wimpi::obs

@@ -1,0 +1,48 @@
+#ifndef WIMPI_OBS_EXPORT_EXPOSITION_H_
+#define WIMPI_OBS_EXPORT_EXPOSITION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wimpi::obs {
+
+// One scraped sample: metric name plus optional labels, e.g.
+// {name:"pool_task_run_us_bucket", labels:{{"le","3.2"}}, value:17}.
+struct ExpositionSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+// Prometheus text-format exposition of a metrics snapshot.
+//
+// Writer: counters become `# TYPE <n> counter` + one sample, gauges the
+// same with type gauge, histograms become the standard cumulative
+// `<n>_bucket{le="..."}` series (including le="+Inf") plus `<n>_sum` and
+// `<n>_count`. Metric names are sanitized (dots and other invalid
+// characters -> underscores) since wimpi names use dotted paths.
+//
+// Parser: reads the same subset of the format back into samples, so tests
+// and tools can round-trip an exposition without a real Prometheus.
+class ExpositionFormat {
+ public:
+  static std::string Write(const RegistrySnapshot& snapshot);
+
+  // Convenience: snapshot + write the global registry.
+  static std::string WriteGlobal();
+
+  // Maps a dotted wimpi metric name to a valid Prometheus name.
+  static std::string SanitizeName(const std::string& name);
+
+  // Parses exposition text ("# ..." comments skipped). Returns false and
+  // fills *error on a malformed sample line.
+  static bool Parse(const std::string& text,
+                    std::vector<ExpositionSample>* out, std::string* error);
+};
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_EXPORT_EXPOSITION_H_

@@ -189,6 +189,24 @@ std::map<std::string, double> MetricsRegistry::ScalarSnapshot() const {
   return out;
 }
 
+RegistrySnapshot MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.Value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h.bounds();
+    hs.bucket_counts = h.BucketCounts();
+    hs.count = h.Count();
+    hs.sum = h.Sum();
+    hs.min = h.Min();
+    hs.max = h.Max();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
 bool PoolMetricsEnabled() {
   return g_pool_metrics.load(std::memory_order_relaxed);
 }

@@ -73,6 +73,24 @@ class Histogram {
   std::atomic<double> max_{0};
 };
 
+// Point-in-time copy of one histogram's full state, for exporters that
+// need buckets (Prometheus exposition) rather than just scalars.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;  // bounds.size() + 1 (overflow)
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+// Point-in-time copy of every registered metric.
+struct RegistrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 // Process-wide named metrics. Lookup takes a mutex; the returned references
 // are stable for the registry's lifetime (node-based storage), so hot paths
 // resolve a metric once and then update it lock-free.
@@ -90,11 +108,20 @@ class MetricsRegistry {
   // Zeroes every metric (keeps registrations). Test helper.
   void Reset();
 
+  // Same as Reset(), under the name tests should use between cases so
+  // metric accumulation from earlier cases cannot leak into assertions.
+  // Entries are zeroed, never erased: pool workers cache raw metric
+  // pointers that must stay valid for the registry's lifetime.
+  void ResetForTesting() { Reset(); }
+
   // Sorted "name value" / "name count=.. mean=.. p50=.. p95=.. p99=.." text.
   std::string FormatText() const;
 
   // Snapshot of scalar values for programmatic checks.
   std::map<std::string, double> ScalarSnapshot() const;
+
+  // Full snapshot including histogram buckets, for exposition writers.
+  RegistrySnapshot SnapshotAll() const;
 
  private:
   MetricsRegistry() = default;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -92,7 +93,12 @@ ScopedProfiling::ScopedProfiling(const ProfileOptions& opts,
     internal::g_stats_hook_armed.store(true, std::memory_order_relaxed);
   }
   prev_trace_ = TraceSink::Global().enabled();
-  if (opts_.trace) TraceSink::Global().set_enabled(true);
+  if (opts_.trace) {
+    TraceSink::Global().set_enabled(true);
+    // Root of the query's span tree; child of whatever context the caller
+    // (e.g. the cluster driver) installed on this thread.
+    span_ = std::make_unique<Span>(out_->root.name, "query", "");
+  }
   prev_pool_metrics_ = PoolMetricsEnabled();
   if (opts_.pool_metrics) SetPoolMetricsEnabled(true);
   if (opts_.perf_counters) {
@@ -124,6 +130,7 @@ ScopedProfiling::~ScopedProfiling() {
     g_current = nullptr;
     g_profile = nullptr;
   }
+  span_.reset();  // record the query span before the sink is re-disabled
   TraceSink::Global().set_enabled(prev_trace_);
   SetPoolMetricsEnabled(prev_pool_metrics_);
 }
@@ -139,6 +146,9 @@ OpScope::OpScope(const char* name, int64_t rows_in) {
   g_current = node_;
   prev_label_ = g_op_label.load(std::memory_order_relaxed);
   g_op_label.store(name, std::memory_order_relaxed);
+  if (TraceSink::Global().enabled()) {
+    span_ = std::make_unique<Span>(name, "op");
+  }
   if (g_perf != nullptr) perf_start_ = g_perf->Read();
   start_us_ = NowMicros();
 }
@@ -150,6 +160,7 @@ OpScope::~OpScope() {
     node_->perf = g_perf->Read().Delta(perf_start_);
     node_->perf_valid = node_->perf.AnyAvailable();
   }
+  span_.reset();
   g_current = parent_;
   g_op_label.store(prev_label_, std::memory_order_relaxed);
 }
@@ -253,6 +264,55 @@ std::string QueryProfile::FormatTree() const {
     out << "perf: " << perf_note << "\n";
   }
   return out.str();
+}
+
+namespace {
+
+void NodeToJson(const ProfileNode& n, JsonWriter& w) {
+  w.BeginObject()
+      .Key("name").String(n.name)
+      .Key("wall_seconds").Double(n.wall_seconds)
+      .Key("rows_in").Int(n.rows_in)
+      .Key("rows_out").Int(n.rows_out)
+      .Key("threads").Int(n.threads)
+      .Key("morsels").Int(n.morsels);
+  double ops = 0, seq = 0, rnd = 0;
+  for (const auto& s : n.op_stats) {
+    ops += s.compute_ops;
+    seq += s.seq_bytes;
+    rnd += s.rand_count;
+  }
+  w.Key("compute_ops").Double(ops)
+      .Key("seq_bytes").Double(seq)
+      .Key("rand_count").Double(rnd);
+  if (n.perf_valid) {
+    w.Key("perf").BeginObject();
+    for (int i = 0; i < PerfCounts::kNumEvents; ++i) {
+      const auto e = static_cast<PerfEvent>(i);
+      if (n.perf.Has(e)) {
+        w.Key(PerfEventName(e)).Double(static_cast<double>(n.perf.Get(e)));
+      }
+    }
+    w.EndObject();
+  }
+  w.Key("children").BeginArray();
+  for (const auto& c : n.children) NodeToJson(*c, w);
+  w.EndArray().EndObject();
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("wall_seconds").Double(wall_seconds)
+      .Key("operator_seconds").Double(OperatorSeconds())
+      .Key("perf_valid").Bool(perf_valid);
+  if (!perf_note.empty()) w.Key("perf_note").String(perf_note);
+  w.Key("root");
+  NodeToJson(root, w);
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace wimpi::obs

@@ -9,6 +9,7 @@
 
 #include "exec/counters.h"
 #include "obs/perf_counters.h"
+#include "obs/tracing/span.h"
 
 namespace wimpi::obs {
 
@@ -81,6 +82,10 @@ struct QueryProfile {
 
   // EXPLAIN ANALYZE-style text rendering of the tree.
   std::string FormatTree() const;
+
+  // Machine-readable rendering of the same tree (wall/rows/threads/model
+  // counters per node, perf totals at the top level).
+  std::string ToJson() const;
 };
 
 // Installs profiling for the current thread's query execution (RAII).
@@ -104,6 +109,11 @@ class ScopedProfiling {
   bool prev_trace_ = false;
   bool prev_pool_metrics_ = false;
   PerfCounters perf_;  // open only when opts_.perf_counters and available
+  // Root span of the query's distributed trace (open only when opts.trace):
+  // operator scopes and morsel tasks become its descendants, and a cluster
+  // driver that installed its context first makes the query a child of the
+  // distributed run.
+  std::unique_ptr<Span> span_;
 };
 
 // RAII operator scope. When no profiler is active (or the caller is not
@@ -129,6 +139,7 @@ class OpScope {
   const char* prev_label_ = nullptr;
   int64_t start_us_ = 0;
   PerfCounts perf_start_;  // read only when counters are live
+  std::unique_ptr<Span> span_;  // open only when the trace sink is enabled
 };
 
 // True while a ScopedProfiling with operator_profile is installed (any

@@ -13,6 +13,41 @@ namespace {
 std::atomic<int> g_next_tid{0};
 thread_local int t_tid = -1;
 
+std::string HexId(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// Writes the shared per-event fields ("args" merges the distributed ids
+// with the caller's pre-rendered object, so both renderings expose the
+// causal tree the same way).
+void WriteEventBody(JsonWriter& w, const TraceEvent& e) {
+  const char ph[2] = {e.phase, '\0'};
+  w.Key("name").String(e.name)
+      .Key("cat").String(e.category)
+      .Key("ph").String(ph)
+      .Key("ts").Int(e.ts_us);
+  if (e.phase == 'X') w.Key("dur").Int(e.dur_us);
+  w.Key("pid").Int(e.pid).Key("tid").Int(e.tid);
+  if (e.phase == 'i') w.Key("s").String("t");  // instant scope: thread
+  if (e.flow_id != 0) {
+    w.Key("id").String(HexId(e.flow_id));
+    // Bind the finish side to the slice starting at this timestamp.
+    if (e.phase == 'f') w.Key("bp").String("e");
+  }
+  const bool has_ids = e.trace_id != 0 || e.span_id != 0;
+  if (has_ids || !e.args_json.empty()) {
+    w.Key("args").BeginObject();
+    if (e.trace_id != 0) w.Key("trace").String(HexId(e.trace_id));
+    if (e.span_id != 0) w.Key("span").String(HexId(e.span_id));
+    if (e.parent_id != 0) w.Key("parent").String(HexId(e.parent_id));
+    if (!e.args_json.empty()) w.RawMembers(e.args_json);
+    w.EndObject();
+  }
+}
+
 }  // namespace
 
 TraceSink& TraceSink::Global() {
@@ -35,6 +70,11 @@ size_t TraceSink::size() const {
   return events_.size();
 }
 
+void TraceSink::Record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
 void TraceSink::RecordComplete(std::string name, const char* category,
                                int64_t ts_us, int64_t dur_us,
                                std::string args_json) {
@@ -45,8 +85,7 @@ void TraceSink::RecordComplete(std::string name, const char* category,
   e.dur_us = dur_us;
   e.tid = CurrentThreadId();
   e.args_json = std::move(args_json);
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(e));
+  Record(std::move(e));
 }
 
 std::vector<TraceEvent> TraceSink::Snapshot() const {
@@ -56,63 +95,64 @@ std::vector<TraceEvent> TraceSink::Snapshot() const {
 
 std::string TraceSink::ToJson() const {
   const std::vector<TraceEvent> events = Snapshot();
+  bool has_cluster = false;
+  for (const TraceEvent& e : events) {
+    if (e.pid == kTracePidCluster) has_cluster = true;
+  }
   JsonWriter w;
   w.BeginObject().Key("traceEvents").BeginArray();
-  for (const TraceEvent& e : events) {
+  // Name the process groups so viewers label the two clocks.
+  auto process_name = [&](int pid, const char* name) {
     w.BeginObject()
-        .Key("name").String(e.name)
-        .Key("cat").String(e.category)
-        .Key("ph").String("X")
-        .Key("ts").Int(e.ts_us)
-        .Key("dur").Int(e.dur_us)
-        .Key("pid").Int(1)
-        .Key("tid").Int(e.tid);
-    if (!e.args_json.empty()) w.Key("args").Raw(e.args_json);
+        .Key("name").String("process_name")
+        .Key("ph").String("M")
+        .Key("pid").Int(pid)
+        .Key("tid").Int(0)
+        .Key("args").BeginObject().Key("name").String(name).EndObject()
+        .EndObject();
+  };
+  process_name(kTracePidHost, "wimpi host (real time)");
+  if (has_cluster) process_name(kTracePidCluster, "wimpi cluster (modeled time)");
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    WriteEventBody(w, e);
     w.EndObject();
   }
   w.EndArray().Key("displayTimeUnit").String("ms").EndObject();
   return w.str();
 }
 
+std::string TraceSink::ToJsonl() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  for (const TraceEvent& e : events) {
+    JsonWriter w;
+    w.BeginObject();
+    WriteEventBody(w, e);
+    w.EndObject();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
 bool TraceSink::WriteFile(const std::string& path) const {
-  const std::string json = ToJson();
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  const std::string json = jsonl ? ToJsonl() : ToJson();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     WIMPI_LOG(Error) << "cannot open trace file " << path;
     return false;
   }
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  if (written != json.size()) {
+  // fclose flushes; a full disk can surface only here.
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
     WIMPI_LOG(Error) << "short write to trace file " << path;
     return false;
   }
   return true;
-}
-
-TraceSpan::TraceSpan(const char* name, const char* category)
-    : active_(TraceSink::Global().enabled()),
-      category_(category) {
-  if (!active_) return;
-  name_ = name;
-  start_us_ = NowMicros();
-}
-
-TraceSpan::TraceSpan(std::string name, const char* category,
-                     std::string args_json)
-    : active_(TraceSink::Global().enabled()),
-      category_(category) {
-  if (!active_) return;
-  name_ = std::move(name);
-  args_json_ = std::move(args_json);
-  start_us_ = NowMicros();
-}
-
-TraceSpan::~TraceSpan() {
-  if (!active_) return;
-  const int64_t end = NowMicros();
-  TraceSink::Global().RecordComplete(std::move(name_), category_, start_us_,
-                                     end - start_us_, std::move(args_json_));
 }
 
 }  // namespace wimpi::obs

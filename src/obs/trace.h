@@ -9,17 +9,40 @@
 
 namespace wimpi::obs {
 
-// One complete ("ph":"X") event in Chrome trace-event format. Timestamps
-// are NowMicros() values; tids are small dense ids assigned per thread so
-// chrome://tracing / Perfetto renders one row per worker.
+// Process ids used to separate the two clocks a distributed run mixes:
+// real host time (operator scopes, morsel tasks) and the simulated node
+// clock of the cluster driver. Viewers render them as two process groups
+// of one timeline; span ids still join them into one causal tree.
+inline constexpr int kTracePidHost = 1;
+inline constexpr int kTracePidCluster = 2;
+
+// One event in Chrome trace-event format. Timestamps are NowMicros()
+// values for host events and modeled microseconds for cluster events;
+// tids are small dense ids assigned per thread (host) or lane ids picked
+// by the cluster exporter so chrome://tracing / Perfetto renders one row
+// per worker / node.
+//
+// The distributed-tracing ids (trace/span/parent) make the causal tree
+// explicit: a span with parent_id P is a child of the span whose span_id
+// is P, wherever (and on whichever clock) that span ran. Flow events
+// ('s'/'f' pairs sharing flow_id) add non-tree causal links, e.g. fault
+// event -> the retry it caused.
 struct TraceEvent {
   std::string name;
   const char* category = "exec";
+  // 'X' complete span, 'i' instant event, 's'/'f' flow start/finish.
+  char phase = 'X';
   int64_t ts_us = 0;
-  int64_t dur_us = 0;
+  int64_t dur_us = 0;  // 'X' only
   int tid = 0;
+  int pid = kTracePidHost;
+  uint64_t trace_id = 0;   // 0 = not part of a distributed trace
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root of its trace
+  uint64_t flow_id = 0;    // 's'/'f' pair id
   // Optional pre-rendered JSON object for the "args" field (e.g.
-  // R"({"morsel":3,"rows":65536})"); empty = no args.
+  // R"({"morsel":3,"rows":65536})"); empty = no args. The exporter merges
+  // the span ids into the same object.
   std::string args_json;
 };
 
@@ -39,15 +62,28 @@ class TraceSink {
   void Clear();
   size_t size() const;
 
+  // Appends one fully-specified event; the cluster exporter and the span
+  // layer fill the id/pid/tid fields themselves.
+  void Record(TraceEvent e);
+
+  // Legacy-shaped helper for plain host spans without distributed ids.
   void RecordComplete(std::string name, const char* category, int64_t ts_us,
                       int64_t dur_us, std::string args_json = "");
 
   std::vector<TraceEvent> Snapshot() const;
 
   // {"traceEvents":[...],"displayTimeUnit":"ms"} — loadable by
-  // chrome://tracing and https://ui.perfetto.dev.
+  // chrome://tracing and https://ui.perfetto.dev. Span/trace ids are
+  // exported inside each event's args ("trace"/"span"/"parent" hex
+  // strings) so external tools can rebuild the causal tree.
   std::string ToJson() const;
-  // Returns false (and logs) when the file cannot be written.
+
+  // One JSON object per line per event (same fields as ToJson, flat), for
+  // streaming consumers and line-oriented diffing.
+  std::string ToJsonl() const;
+
+  // Returns false (and logs) when the file cannot be written. Paths ending
+  // in ".jsonl" get the JSONL rendering, everything else Chrome JSON.
   bool WriteFile(const std::string& path) const;
 
   // Dense id of the calling thread (0 = first thread ever seen).
@@ -59,25 +95,6 @@ class TraceSink {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
-};
-
-// RAII span: records a complete event on destruction when the sink was
-// enabled at construction. Cheap no-op otherwise.
-class TraceSpan {
- public:
-  TraceSpan(const char* name, const char* category);
-  TraceSpan(std::string name, const char* category, std::string args_json);
-  ~TraceSpan();
-
-  TraceSpan(const TraceSpan&) = delete;
-  TraceSpan& operator=(const TraceSpan&) = delete;
-
- private:
-  bool active_ = false;
-  std::string name_;
-  const char* category_ = nullptr;
-  std::string args_json_;
-  int64_t start_us_ = 0;
 };
 
 }  // namespace wimpi::obs

@@ -1,0 +1,76 @@
+#include "obs/tracing/span.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace wimpi::obs {
+
+namespace {
+
+// Start above 0 so 0 stays the "no id" sentinel everywhere.
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+
+thread_local SpanContext t_current;
+
+}  // namespace
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NewSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const SpanContext& CurrentSpanContext() { return t_current; }
+
+ScopedSpanContext::ScopedSpanContext(const SpanContext& ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+ScopedSpanContext::~ScopedSpanContext() { t_current = prev_; }
+
+Span::Span(const char* name, const char* category) {
+  if (!TraceSink::Global().enabled()) return;
+  name_ = name;
+  category_ = category;
+  Open();
+}
+
+Span::Span(std::string name, const char* category, std::string args_json)
+    : name_(std::move(name)), args_json_(std::move(args_json)) {
+  if (!TraceSink::Global().enabled()) return;
+  category_ = category;
+  Open();
+}
+
+void Span::Open() {
+  active_ = true;
+  prev_ = t_current;
+  parent_id_ = prev_.span_id;
+  ctx_.trace_id = prev_.trace_id != 0 ? prev_.trace_id : NewTraceId();
+  ctx_.span_id = NewSpanId();
+  t_current = ctx_;
+  start_us_ = NowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  t_current = prev_;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = category_;
+  e.ts_us = start_us_;
+  e.dur_us = NowMicros() - start_us_;
+  e.tid = TraceSink::CurrentThreadId();
+  e.trace_id = ctx_.trace_id;
+  e.span_id = ctx_.span_id;
+  e.parent_id = parent_id_;
+  e.args_json = std::move(args_json_);
+  TraceSink::Global().Record(std::move(e));
+}
+
+}  // namespace wimpi::obs

@@ -1,0 +1,80 @@
+#ifndef WIMPI_OBS_TRACING_SPAN_H_
+#define WIMPI_OBS_TRACING_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace wimpi::obs {
+
+// Distributed-tracing context: which trace the current work belongs to and
+// which span is its would-be parent. Propagated through a thread-local so
+// nested Spans form a tree on one thread, and copied explicitly across
+// thread / layer boundaries (pool tasks, morsel workers, the simulated
+// cluster driver) so the whole distributed run shares one trace id.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return span_id != 0; }
+};
+
+// Process-unique id allocation (never 0). Ids only need uniqueness within
+// one process lifetime; a relaxed counter keeps allocation lock-free.
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+// The calling thread's ambient context ({0,0} when none is installed).
+const SpanContext& CurrentSpanContext();
+
+// Installs `ctx` as the calling thread's ambient context for the scope's
+// lifetime. Used to adopt a parent context on a different thread (pool
+// workers running morsels/graph nodes) or a manufactured modeled-time
+// context (cluster partials executing under a distributed-run root span).
+class ScopedSpanContext {
+ public:
+  explicit ScopedSpanContext(const SpanContext& ctx);
+  ~ScopedSpanContext();
+
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+// RAII real-clock span: when the sink is enabled at construction, becomes
+// a child of the ambient context (starting a fresh trace when there is
+// none), installs itself as the ambient context, and records one complete
+// event on destruction. Cheap no-op otherwise (one relaxed atomic load).
+class Span {
+ public:
+  Span(const char* name, const char* category);
+  Span(std::string name, const char* category, std::string args_json);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+  // This span's context ({0,0} when inactive) — hand it to work fanned out
+  // to other threads so their spans become children of this one.
+  const SpanContext& context() const { return ctx_; }
+
+ private:
+  void Open();
+
+  bool active_ = false;
+  SpanContext ctx_;
+  SpanContext prev_;
+  uint64_t parent_id_ = 0;
+  std::string name_;
+  const char* category_ = nullptr;
+  std::string args_json_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace wimpi::obs
+
+#endif  // WIMPI_OBS_TRACING_SPAN_H_

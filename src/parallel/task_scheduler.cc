@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "obs/tracing/span.h"
 
 namespace wimpi::parallel {
 
@@ -77,14 +78,18 @@ void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
   // caller) thread that ran it.
   obs::NoteParallelPhase(threads, static_cast<int>(morsels.size()));
   if (obs::TraceSink::Global().enabled()) {
+    // Capture the caller's span context so every morsel span, on whichever
+    // worker thread it runs, becomes a child of the open operator span.
+    const obs::SpanContext parent = obs::CurrentSpanContext();
     pool_.ParallelFor(
         static_cast<int64_t>(morsels.size()),
-        [&](int64_t i) {
+        [&, parent](int64_t i) {
           const Morsel& m = morsels[static_cast<size_t>(i)];
           char args[64];
           std::snprintf(args, sizeof(args), "{\"morsel\":%d,\"rows\":%lld}",
                         m.index, static_cast<long long>(m.rows()));
-          obs::TraceSpan span(std::string(label), "morsel", args);
+          obs::ScopedSpanContext adopt(parent);
+          obs::Span span(std::string(label), "morsel", args);
           RunMorselBody(body, m, label);
         },
         threads, cancel);
@@ -107,6 +112,8 @@ struct GraphState {
   const std::vector<std::function<void()>>* nodes = nullptr;
   ThreadPool* pool = nullptr;
   const CancellationToken* cancel = nullptr;
+  // Submitter's span context; node spans on any thread parent under it.
+  obs::SpanContext ctx;
   std::vector<std::atomic<int>> pending;
   std::vector<std::vector<int>> dependents;
   std::exception_ptr error;
@@ -126,7 +133,8 @@ void RunNodeChain(const std::shared_ptr<GraphState>& state, int start) {
     if (!state->abort.load(std::memory_order_relaxed) &&
         (state->cancel == nullptr || !state->cancel->cancelled())) {
       try {
-        obs::TraceSpan span("graph-node", "pool");
+        obs::ScopedSpanContext adopt(state->ctx);
+        obs::Span span("graph-node", "pool");
         (*state->nodes)[i]();
       } catch (...) {
         // First-error semantics, with the failing node attached so graph
@@ -184,6 +192,9 @@ void TaskScheduler::RunTaskGraph(
   state->nodes = &nodes;
   state->pool = &pool_;
   state->cancel = cancel;
+  if (obs::TraceSink::Global().enabled()) {
+    state->ctx = obs::CurrentSpanContext();
+  }
   for (int i = 0; i < n; ++i) {
     state->pending[i].store(static_cast<int>(deps[i].size()),
                             std::memory_order_relaxed);

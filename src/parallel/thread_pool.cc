@@ -65,6 +65,9 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
   QueuedTask task;
   task.fn = std::move(fn);
   if (obs::PoolMetricsEnabled()) task.enqueue_us = obs::NowMicros();
+  // Carry the submitter's span context across the thread boundary so the
+  // worker's task span joins the submitter's trace.
+  if (obs::TraceSink::Global().enabled()) task.ctx = obs::CurrentSpanContext();
   queue_.push_back(std::move(task));
 }
 
@@ -96,7 +99,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
           static_cast<double>(start - task.enqueue_us));
     }
     {
-      obs::TraceSpan span("task", "pool");
+      obs::ScopedSpanContext adopt(task.ctx);
+      obs::Span span("task", "pool");
       task.fn();
     }
     const int64_t end = obs::NowMicros();

@@ -165,7 +165,7 @@ TEST(ObsQueries, TraceCapturesMorselSpans) {
 TEST(ObsQueries, PoolMetricsCountTasks) {
   const engine::Database& db = TestDb();
   auto& reg = obs::MetricsRegistry::Global();
-  reg.Reset();
+  reg.ResetForTesting();
 
   engine::Executor ex;
   ex.set_num_threads(4);
@@ -184,7 +184,7 @@ TEST(ObsQueries, PoolMetricsCountTasks) {
   const auto waits = snap.find("pool.task.queue_wait_us.count");
   ASSERT_NE(waits, snap.end());
   EXPECT_GT(waits->second, 0);
-  reg.Reset();
+  reg.ResetForTesting();
 }
 
 TEST(ObsQueries, ResidualReportForPaperHeadlineQueries) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/executor.h"
@@ -15,6 +16,7 @@
 #include "obs/profiler.h"
 #include "obs/residual.h"
 #include "obs/trace.h"
+#include "obs/tracing/span.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -110,7 +112,7 @@ TEST(Trace, DisabledSinkRecordsNothing) {
   auto& sink = obs::TraceSink::Global();
   sink.Clear();
   ASSERT_FALSE(sink.enabled());
-  { obs::TraceSpan span("ignored", "test"); }
+  { obs::Span span("ignored", "test"); }
   EXPECT_EQ(sink.size(), 0u);
 }
 
@@ -119,9 +121,9 @@ TEST(Trace, SpansAndJsonShape) {
   sink.Clear();
   sink.set_enabled(true);
   {
-    obs::TraceSpan outer("outer \"quoted\"", "test");
-    obs::TraceSpan inner(std::string("inner"), "test",
-                         "{\"morsel\":3,\"rows\":65536}");
+    obs::Span outer("outer \"quoted\"", "test");
+    obs::Span inner(std::string("inner"), "test",
+                    "{\"morsel\":3,\"rows\":65536}");
   }
   sink.set_enabled(false);
   ASSERT_EQ(sink.size(), 2u);
@@ -131,16 +133,45 @@ TEST(Trace, SpansAndJsonShape) {
   EXPECT_EQ(events[0].name, "inner");
   EXPECT_EQ(events[1].name, "outer \"quoted\"");
   EXPECT_GE(events[1].dur_us, events[0].dur_us);
+  // Nested spans form a causal tree in one trace.
+  EXPECT_EQ(events[0].trace_id, events[1].trace_id);
+  EXPECT_EQ(events[0].parent_id, events[1].span_id);
+  EXPECT_EQ(events[1].parent_id, 0u);
 
   const std::string json = sink.ToJson();
   EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
-  EXPECT_NE(json.find("\"args\":{\"morsel\":3,\"rows\":65536}"),
-            std::string::npos);
+  // Caller args are merged behind the span ids inside the same object.
+  EXPECT_NE(json.find("\"morsel\":3,\"rows\":65536}"), std::string::npos);
+  EXPECT_NE(json.find("\"span\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos);
   // The quote in the name is escaped — the raw sequence `r "q` would break
   // the JSON string literal.
   EXPECT_NE(json.find("outer \\\"quoted\\\""), std::string::npos);
+  sink.Clear();
+}
+
+TEST(Trace, ContextPropagatesAcrossThreadsViaScopedContext) {
+  auto& sink = obs::TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+  obs::SpanContext parent_ctx;
+  {
+    obs::Span parent("parent", "test");
+    parent_ctx = parent.context();
+    std::thread worker([parent_ctx] {
+      obs::ScopedSpanContext adopt(parent_ctx);
+      obs::Span child("child", "test");
+    });
+    worker.join();
+  }
+  sink.set_enabled(false);
+  const auto events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "child");
+  EXPECT_EQ(events[0].trace_id, parent_ctx.trace_id);
+  EXPECT_EQ(events[0].parent_id, parent_ctx.span_id);
   sink.Clear();
 }
 

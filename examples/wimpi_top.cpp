@@ -9,16 +9,29 @@
 //
 //   ./examples/wimpi_top [--query 1] [--sf 0.05] [--model-sf 10]
 //                        [--nodes 24] [--seed 42] [--iters 1] [--follow]
+//
+// With --service the view flips to the concurrent query service on one
+// node: closed-loop sessions hammer a QueryService while the dashboard
+// renders active/queued/rejected counts and per-session latency
+// percentiles from the live metrics registry.
+//
+//   ./examples/wimpi_top --service [--streams 4] [--sf 0.01]
+//                        [--iters 5] [--interval-ms 500] [--follow]
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/wimpi_cluster.h"
 #include "common/cli.h"
 #include "common/table_printer.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -31,12 +44,92 @@ struct NodeStats {
   int partitions = 0;  // successful attempts == partitions served
 };
 
+// --service mode: drive a live QueryService with closed-loop sessions and
+// render its state from the global metrics registry — the same counters,
+// gauges, and histograms a real deployment would scrape.
+int RunServiceTop(const wimpi::CommandLine& cli) {
+  using wimpi::TablePrinter;
+  const int streams = static_cast<int>(cli.GetInt("streams", 4));
+  const double sf = cli.GetDouble("sf", 0.01);
+  const int iters = static_cast<int>(cli.GetInt("iters", 5));
+  const int interval_ms = static_cast<int>(cli.GetInt("interval-ms", 500));
+  const bool follow = cli.GetBool("follow", false);
+
+  wimpi::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  const wimpi::engine::Database db = wimpi::tpch::GenerateDatabase(gen);
+
+  wimpi::service::ServiceOptions sopts;
+  sopts.track_session_metrics = true;
+  wimpi::service::QueryService svc(sopts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int s = 0; s < streams; ++s) {
+    clients.emplace_back([&, s] {
+      wimpi::service::ClientSession session(&svc,
+                                            "stream" + std::to_string(s),
+                                            1.0 + (s % 2));  // mixed priority
+      int i = s * 5;  // rotated query order per stream
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int q = 1 + (i++ % 22);
+        wimpi::service::QuerySpec spec;
+        spec.label = "q" + std::to_string(q);
+        spec.plan = [&db, q](wimpi::exec::QueryStats* st) {
+          return wimpi::tpch::RunQuery(q, db, st);
+        };
+        (void)session.Execute(std::move(spec));
+      }
+    });
+  }
+
+  auto& reg = wimpi::obs::MetricsRegistry::Global();
+  for (int iter = 0; iter < iters; ++iter) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    if (follow) std::printf("\x1b[2J\x1b[H");  // clear + home
+    const auto scalars = reg.ScalarSnapshot();
+    auto scalar = [&](const std::string& name) {
+      const auto it = scalars.find(name);
+      return it == scalars.end() ? 0.0 : it->second;
+    };
+    std::printf(
+        "wimpi_top --service — %d streams at SF %g | active %.0f, queued "
+        "%.0f | submitted %.0f, completed %.0f, rejected %.0f, cancelled "
+        "%.0f, timeout %.0f | pool queue depth %.0f\n",
+        streams, sf, scalar("service.active"), scalar("service.queued"),
+        scalar("service.submitted"), scalar("service.completed"),
+        scalar("service.rejected"), scalar("service.cancelled"),
+        scalar("service.timeout"), scalar("pool.queue_depth"));
+
+    TablePrinter t({"session", "queries", "p50 (ms)", "p99 (ms)"});
+    for (int s = 0; s < streams; ++s) {
+      const auto& h = reg.histogram("service.session.stream" +
+                                    std::to_string(s) + ".latency_us");
+      t.AddRow({"stream" + std::to_string(s), std::to_string(h.Count()),
+                TablePrinter::Fixed(h.Percentile(0.5) / 1000.0, 2),
+                TablePrinter::Fixed(h.Percentile(0.99) / 1000.0, 2)});
+    }
+    t.Print(std::cout);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& c : clients) c.join();
+  const auto& lat = reg.histogram("service.latency_us");
+  std::printf(
+      "done: %lld queries, service-wide p50 %.2f ms / p95 %.2f ms / p99 "
+      "%.2f ms\n",
+      static_cast<long long>(lat.Count()), lat.Percentile(0.5) / 1000.0,
+      lat.Percentile(0.95) / 1000.0, lat.Percentile(0.99) / 1000.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using wimpi::TablePrinter;
 
   const wimpi::CommandLine cli(argc, argv);
+  if (cli.GetBool("service", false)) return RunServiceTop(cli);
   const int query = static_cast<int>(cli.GetInt("query", 1));
   const double sf = cli.GetDouble("sf", 0.05);
   const double model_sf = cli.GetDouble("model-sf", 10.0);

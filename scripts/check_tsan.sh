@@ -16,7 +16,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" \
   --target parallel_test parallel_queries_test obs_test obs_queries_test \
-           obs_perf_test obs_export_test memory_tracker_test fault_test -j
+           obs_perf_test obs_export_test memory_tracker_test fault_test \
+           service_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -40,5 +41,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Fault injection + recovery (cancellation tokens racing against morsel
 # workers, retries/reassignment over the real parallel partial plans).
 "${build_dir}/tests/fault_test"
+# Query service: concurrent sessions over the shared pool (fair scheduler
+# drain slots vs query drivers, admission reserve/release, cancellation
+# and deadline racing mid-pipeline, the many-sessions stress case).
+"${build_dir}/tests/service_test"
 
 echo "TSan parallel + obs test pass: OK"

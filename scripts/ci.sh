@@ -3,10 +3,11 @@
 # artifact-regression stage (modeled runtimes gated against the committed
 # baseline), a fault-injection smoke run under a fixed seed (degraded-mode
 # runtimes and recovery counters gated the same way), a traced run of the
-# same fault scenario structurally validated by wimpi_trace_check, then
-# the sanitizer passes (TSan over the parallel + observability + fault
-# tests, ASan over everything). Each stage fails the script on the first
-# error.
+# same fault scenario structurally validated by wimpi_trace_check, a
+# concurrent-streams throughput smoke (answer identity + admission
+# invariants gated against the committed baseline), then the sanitizer
+# passes (TSan over the parallel + service + observability + fault tests,
+# ASan over everything). Each stage fails the script on the first error.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 #   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # skip TSan/ASan stages
@@ -16,13 +17,13 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-echo "=== [1/6] build + tests ==="
+echo "=== [1/7] build + tests ==="
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure
 
 if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "=== [2/6] bench smoke + artifact regression gate ==="
+  echo "=== [2/7] bench smoke + artifact regression gate ==="
   # Small physical SF keeps this a smoke run; the gated rows are modeled
   # runtimes (deterministic: fixed dbgen seed x Table I profiles), so a
   # committed baseline is stable across hosts. Wall times in the artifact
@@ -33,7 +34,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table2_sf1.json" "${artifact}"
 
-  echo "=== [3/6] fault-injection smoke + regression gate ==="
+  echo "=== [3/7] fault-injection smoke + regression gate ==="
   # Same idea under a fixed fault seed: the degraded-mode runtimes and
   # recovery counters are pure functions of (dbgen seed, cost model, fault
   # seed), so they regress against a committed baseline like clean runs.
@@ -43,7 +44,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table3_faults.json" "${fault_artifact}"
 
-  echo "=== [4/6] traced fault run + trace structure gate ==="
+  echo "=== [4/7] traced fault run + trace structure gate ==="
   # Re-run the same fault scenario with telemetry on and validate the
   # export: one coherent span tree (every retry parented to the attempt it
   # retried, every fault flow-linked to the retry it caused) and a
@@ -56,15 +57,28 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     --trace "${trace_file}" --events "${events_file}" > /dev/null
   "${build_dir}/bench/wimpi_trace_check" "${trace_file}" \
     --events "${events_file}"
+
+  echo "=== [5/7] throughput smoke + regression gate ==="
+  # Concurrent streams through the query service: the bench itself exits
+  # nonzero on any answer differing from isolated execution or on a peak
+  # reservation above the budget; the gated artifact rows (counts, per-
+  # query checksums, pipeline/task totals) are deterministic, wall-clock
+  # throughput/latency metrics informational.
+  throughput_artifact="${build_dir}/BENCH_throughput.json"
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_throughput" \
+    --streams 4 --physical-sf 0.01 --json "${throughput_artifact}" > /dev/null
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${repo_root}/bench/baselines/BENCH_throughput.json" \
+    "${throughput_artifact}"
 else
   echo "=== bench stages skipped (WIMPI_CI_SKIP_BENCH=1) ==="
 fi
 
 if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "=== [5/6] ThreadSanitizer (parallel + obs + faults) ==="
+  echo "=== [6/7] ThreadSanitizer (parallel + service + obs + faults) ==="
   "${repo_root}/scripts/check_tsan.sh"
 
-  echo "=== [6/6] AddressSanitizer (full suite) ==="
+  echo "=== [7/7] AddressSanitizer (full suite) ==="
   "${repo_root}/scripts/check_asan.sh"
 else
   echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="

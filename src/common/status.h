@@ -23,6 +23,15 @@ enum class StatusCode {
   // its modeled deadline.
   kUnavailable,
   kDeadlineExceeded,
+  // Admission control: a query was refused because a bounded resource
+  // (the per-node memory budget, the admission queue) cannot ever / right
+  // now accommodate it. Distinct from kOutOfMemory, which reports actual
+  // over-budget consumption during execution.
+  kResourceExhausted,
+  // The caller abandoned the operation (session cancel). Distinct from
+  // kDeadlineExceeded, which the service applies when its own timeout
+  // fired the cancellation.
+  kCancelled,
 };
 
 // A lightweight success-or-error value, modeled on absl::Status.
@@ -54,6 +63,12 @@ class Status {
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +97,10 @@ class Status {
         return "Unavailable";
       case StatusCode::kDeadlineExceeded:
         return "DeadlineExceeded";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
+      case StatusCode::kCancelled:
+        return "Cancelled";
     }
     return "Unknown";
   }

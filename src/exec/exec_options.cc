@@ -8,7 +8,11 @@
 namespace wimpi::exec {
 
 namespace {
-ExecOptions g_options;
+// Per-thread: every query driver carries its own ambient options, which is
+// what lets the service run many queries concurrently. A fresh thread
+// starts from the defaults (one thread, seed morsel size), exactly like
+// the old process-global did at startup.
+thread_local ExecOptions g_options;
 }  // namespace
 
 const ExecOptions& CurrentExecOptions() { return g_options; }

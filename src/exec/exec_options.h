@@ -5,6 +5,7 @@
 
 namespace wimpi::parallel {
 class CancellationToken;
+class PipelineScheduler;
 }  // namespace wimpi::parallel
 
 namespace wimpi::exec {
@@ -27,11 +28,23 @@ struct ExecOptions {
   // return partial garbage, so only a driver that is abandoning the whole
   // computation (e.g. the cluster fault path) should cancel.
   const parallel::CancellationToken* cancellation = nullptr;
+  // Where the plan's parallel phases (pipelines) are scheduled. Null (the
+  // default) means parallel::PipelineScheduler::Default(): morsel loops on
+  // the process-wide TaskScheduler, exactly the single-query engine. The
+  // query service installs a per-query fair scheduler here so pipelines
+  // from many concurrent queries interleave over the shared pool. Morsel
+  // boundaries (and therefore answers) are scheduler-independent.
+  parallel::PipelineScheduler* pipeline_scheduler = nullptr;
 };
 
-// Ambient options consulted by the operator library. Set them once before
-// running queries (they are process-global, like the MonetDB nthreads
-// setting they stand in for); not thread-safe against concurrent queries.
+// Ambient options consulted by the operator library on the thread that
+// drives a plan. Thread-local: each query driver (a test's main thread,
+// an engine::Executor caller, a service driver thread) installs its own
+// options, so concurrent queries on different threads never see each
+// other's knobs. Morsel bodies running on pool workers never consult the
+// ambient options — operators capture everything they need on the driving
+// thread before fanning out (workers would otherwise read their own
+// thread's defaults).
 const ExecOptions& CurrentExecOptions();
 void SetExecOptions(const ExecOptions& opts);
 

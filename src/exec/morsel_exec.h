@@ -1,16 +1,22 @@
 #ifndef WIMPI_EXEC_MORSEL_EXEC_H_
 #define WIMPI_EXEC_MORSEL_EXEC_H_
 
-// Internal glue between the operator library and wimpi::parallel: morsel
-// loops under the ambient ExecOptions. Operators call PlannedThreads()
-// first and only come here when it returns > 1, so the sequential paths
-// never touch the scheduler (and num_threads=1 stays bit-identical to the
-// single-threaded engine).
+// Internal glue between the operator library and wimpi::parallel: every
+// parallel operator phase becomes one parallel::PipelineSpec handed to the
+// ambient pipeline scheduler (the pipeline/executor split). Operators call
+// PlannedThreads() first and only come here when it returns > 1, so the
+// sequential paths never touch the scheduler (and num_threads=1 stays
+// bit-identical to the single-threaded engine). With no scheduler
+// installed the pipeline runs on PipelineScheduler::Default() — the
+// process-wide TaskScheduler, i.e. the pre-service engine; the query
+// service installs a per-query fair scheduler instead, which interleaves
+// this pipeline's morsels with other queries' pipelines.
 
 #include <cstdint>
 #include <functional>
 
 #include "exec/exec_options.h"
+#include "parallel/pipeline.h"
 #include "parallel/task_scheduler.h"
 
 namespace wimpi::exec {
@@ -24,13 +30,21 @@ inline int NumMorsels(int64_t rows) {
 
 // Runs body over every morsel of [0, rows) on up to `threads` threads
 // (including the caller). Partial results indexed by morsel.index and
-// merged in index order are deterministic at any thread count.
+// merged in index order are deterministic at any thread count and under
+// any scheduler.
 inline void RunMorsels(int64_t rows, int threads,
                        const std::function<void(const parallel::Morsel&)>& body) {
   const ExecOptions& opts = CurrentExecOptions();
-  parallel::TaskScheduler::Global().RunMorsels(rows, opts.morsel_rows,
-                                               threads, body,
-                                               opts.cancellation);
+  parallel::PipelineSpec spec;
+  spec.total_rows = rows;
+  spec.morsel_rows = opts.morsel_rows;
+  spec.max_threads = threads;
+  spec.body = &body;
+  spec.cancel = opts.cancellation;
+  (opts.pipeline_scheduler != nullptr
+       ? *opts.pipeline_scheduler
+       : parallel::PipelineScheduler::Default())
+      .RunPipeline(spec);
 }
 
 // Same, but with an explicit chunk size — used when the partial-result
@@ -38,8 +52,17 @@ inline void RunMorsels(int64_t rows, int threads,
 // tables) rather than one per morsel.
 inline void RunChunks(int64_t rows, int64_t chunk_rows, int threads,
                       const std::function<void(const parallel::Morsel&)>& body) {
-  parallel::TaskScheduler::Global().RunMorsels(
-      rows, chunk_rows, threads, body, CurrentExecOptions().cancellation);
+  const ExecOptions& opts = CurrentExecOptions();
+  parallel::PipelineSpec spec;
+  spec.total_rows = rows;
+  spec.morsel_rows = chunk_rows;
+  spec.max_threads = threads;
+  spec.body = &body;
+  spec.cancel = opts.cancellation;
+  (opts.pipeline_scheduler != nullptr
+       ? *opts.pipeline_scheduler
+       : parallel::PipelineScheduler::Default())
+      .RunPipeline(spec);
 }
 
 }  // namespace wimpi::exec

@@ -1,0 +1,45 @@
+#include "parallel/pipeline.h"
+
+#include <string>
+
+namespace wimpi::parallel {
+
+void RunPipelineMorsel(const std::function<void(const Morsel&)>& body,
+                       const Morsel& m, const char* label) {
+  try {
+    body(m);
+  } catch (const TaskError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw TaskError("[op " + std::string(label) + " morsel " +
+                    std::to_string(m.index) + " rows " +
+                    std::to_string(m.begin) + ".." + std::to_string(m.end) +
+                    "] " + e.what());
+  } catch (...) {
+    throw TaskError("[op " + std::string(label) + " morsel " +
+                    std::to_string(m.index) + "] unknown exception");
+  }
+}
+
+namespace {
+
+// The pre-service execution path, unchanged: one query at a time, morsel
+// loops on the process-wide scheduler. Leaked singleton (like
+// TaskScheduler::Global()) so it is never destroyed while workers run.
+class DefaultScheduler : public PipelineScheduler {
+ public:
+  void RunPipeline(const PipelineSpec& spec) override {
+    TaskScheduler::Global().RunMorsels(spec.total_rows, spec.morsel_rows,
+                                       spec.max_threads, *spec.body,
+                                       spec.cancel);
+  }
+};
+
+}  // namespace
+
+PipelineScheduler& PipelineScheduler::Default() {
+  static DefaultScheduler* scheduler = new DefaultScheduler;
+  return *scheduler;
+}
+
+}  // namespace wimpi::parallel

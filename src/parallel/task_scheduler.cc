@@ -11,6 +11,7 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "obs/tracing/span.h"
+#include "parallel/pipeline.h"
 
 namespace wimpi::parallel {
 
@@ -34,30 +35,10 @@ TaskScheduler& TaskScheduler::Global() {
   return *scheduler;
 }
 
-namespace {
-
-// Runs one morsel body, converting any escaping exception into a TaskError
-// that names the operator and morsel — worker-thread failures must be
-// attributable without a debugger. An incoming TaskError is forwarded
-// untouched (it already carries the most specific context).
-void RunMorselBody(const std::function<void(const Morsel&)>& body,
-                   const Morsel& m, const char* label) {
-  try {
-    body(m);
-  } catch (const TaskError&) {
-    throw;
-  } catch (const std::exception& e) {
-    throw TaskError("[op " + std::string(label) + " morsel " +
-                    std::to_string(m.index) + " rows " +
-                    std::to_string(m.begin) + ".." + std::to_string(m.end) +
-                    "] " + e.what());
-  } catch (...) {
-    throw TaskError("[op " + std::string(label) + " morsel " +
-                    std::to_string(m.index) + "] unknown exception");
-  }
-}
-
-}  // namespace
+// Worker-thread failures must be attributable without a debugger:
+// RunPipelineMorsel (parallel/pipeline.cc, shared with the service's fair
+// scheduler) wraps foreign exceptions into TaskErrors naming the operator
+// and morsel.
 
 void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
                                const std::function<void(const Morsel&)>& body,
@@ -68,7 +49,7 @@ void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
   if (threads <= 1 || morsels.size() == 1) {
     for (const Morsel& m : morsels) {
       if (cancel != nullptr && cancel->cancelled()) return;
-      RunMorselBody(body, m, label);
+      RunPipelineMorsel(body, m, label);
     }
     return;
   }
@@ -90,15 +71,15 @@ void TaskScheduler::RunMorsels(int64_t total, int64_t morsel_rows, int threads,
                         m.index, static_cast<long long>(m.rows()));
           obs::ScopedSpanContext adopt(parent);
           obs::Span span(std::string(label), "morsel", args);
-          RunMorselBody(body, m, label);
+          RunPipelineMorsel(body, m, label);
         },
         threads, cancel);
     return;
   }
   pool_.ParallelFor(
       static_cast<int64_t>(morsels.size()),
-      [&](int64_t i) { RunMorselBody(body, morsels[static_cast<size_t>(i)],
-                                     label); },
+      [&](int64_t i) { RunPipelineMorsel(
+                           body, morsels[static_cast<size_t>(i)], label); },
       threads, cancel);
 }
 

@@ -61,14 +61,23 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::PublishQueueDepth() {
+  if (queue_depth_ == nullptr) {
+    queue_depth_ = &obs::MetricsRegistry::Global().gauge("pool.queue_depth");
+  }
+  queue_depth_->Set(static_cast<double>(queue_.size()));
+}
+
 void ThreadPool::Enqueue(std::function<void()> fn) {
   QueuedTask task;
   task.fn = std::move(fn);
-  if (obs::PoolMetricsEnabled()) task.enqueue_us = obs::NowMicros();
+  const bool instrumented = obs::PoolMetricsEnabled();
+  if (instrumented) task.enqueue_us = obs::NowMicros();
   // Carry the submitter's span context across the thread boundary so the
   // worker's task span joins the submitter's trace.
   if (obs::TraceSink::Global().enabled()) task.ctx = obs::CurrentSpanContext();
   queue_.push_back(std::move(task));
+  if (instrumented) PublishQueueDepth();
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -86,6 +95,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (instrumented) PublishQueueDepth();
     }
     if (!instrumented) {
       task.fn();

@@ -13,12 +13,23 @@
 #include "obs/tracing/span.h"
 #include "parallel/cancellation.h"
 
+namespace wimpi::obs {
+class Gauge;
+}  // namespace wimpi::obs
+
 namespace wimpi::parallel {
 
 // A fixed set of worker threads draining a shared task queue (the classic
 // condvar-guarded deque; a morsel-driven scheduler on top of this gets the
 // load-balancing benefits of work stealing without per-thread deques,
 // because tasks are already small and uniform).
+//
+// Idle workers (and an idle query service above them) consume no CPU:
+// every wait in this file blocks on cv_ under mu_ — there is no polling
+// loop anywhere on the idle path. With the pool metrics hooks enabled the
+// "pool.queue_depth" gauge tracks the current queue length next to the
+// existing queue-wait histogram, so a saturated (or wedged) service is
+// visible from a metrics snapshot.
 //
 // Blocking rules that keep nested use deadlock-free:
 //  * Submit() never blocks (it only enqueues).
@@ -71,11 +82,15 @@ class ThreadPool {
 
   void WorkerLoop(int worker_index);
   void Enqueue(std::function<void()> fn);  // caller must hold mu_
+  void PublishQueueDepth();                // caller must hold mu_
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<QueuedTask> queue_;
   bool shutting_down_ = false;
+  // "pool.queue_depth" gauge, resolved on first instrumented enqueue (the
+  // registry reference is stable for process lifetime). Guarded by mu_.
+  obs::Gauge* queue_depth_ = nullptr;
   std::vector<std::thread> workers_;
 };
 

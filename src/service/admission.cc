@@ -1,0 +1,14 @@
+#include "service/admission.h"
+
+#include <cmath>
+
+namespace wimpi::service {
+
+int64_t EstimateWorkingSetBytes(const exec::QueryStats& stats) {
+  const double bytes =
+      stats.BaseTouchedBytes() + stats.peak_intermediate_bytes;
+  if (!(bytes > 0)) return 0;
+  return static_cast<int64_t>(std::llround(bytes));
+}
+
+}  // namespace wimpi::service

@@ -1,0 +1,81 @@
+#ifndef WIMPI_SERVICE_ADMISSION_H_
+#define WIMPI_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "exec/counters.h"
+#include "storage/memory_tracker.h"
+
+namespace wimpi::service {
+
+// Reservation-based admission control against one node's memory budget.
+//
+// A query is admitted only once its estimated working set fits inside the
+// unreserved part of the budget; the reservation is held for the query's
+// whole run and released when it finishes. Because every admitted query
+// reserved its estimate up front, the sum of concurrent estimates — and so
+// (to the accuracy of the estimate) the node's peak memory — never exceeds
+// the budget by construction. This is the same working-set approximation
+// the cluster spill model uses: base columns touched plus the plan's peak
+// intermediate allocations.
+class AdmissionController {
+ public:
+  struct Options {
+    // Reservation budget in bytes; <= 0 means unlimited (every TryReserve
+    // succeeds and FitsBudget always holds).
+    int64_t budget_bytes = 0;
+  };
+
+  explicit AdmissionController(Options opts) : opts_(opts), tracker_(opts.budget_bytes) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // False when `bytes` exceeds the whole budget — such a query can never be
+  // admitted and must be rejected outright rather than queued forever.
+  bool FitsBudget(int64_t bytes) const {
+    return opts_.budget_bytes <= 0 || bytes <= opts_.budget_bytes;
+  }
+
+  // Atomically reserves `bytes` if the unreserved budget allows it right
+  // now. Negative estimates are treated as zero (admit; nothing to hold).
+  bool TryReserve(int64_t bytes) {
+    if (bytes <= 0) return true;
+    if (opts_.budget_bytes <= 0) {
+      tracker_.Consume(bytes);
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tracker_.used() + bytes > opts_.budget_bytes) return false;
+    tracker_.Consume(bytes);
+    return true;
+  }
+
+  void Release(int64_t bytes) {
+    if (bytes > 0) tracker_.Release(bytes);
+  }
+
+  int64_t budget_bytes() const { return opts_.budget_bytes; }
+  int64_t reserved_bytes() const { return tracker_.used(); }
+  int64_t peak_reserved_bytes() const { return tracker_.peak(); }
+
+  // The underlying tracker, exposed so tests and the throughput benchmark
+  // can assert peak-vs-budget directly.
+  const storage::MemoryTracker& tracker() const { return tracker_; }
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;  // serializes check-then-consume in TryReserve
+  storage::MemoryTracker tracker_;
+};
+
+// Estimated working set of a query, from the stats of a prior (or modeled)
+// run: base column bytes it touches plus its peak concurrently-live
+// intermediate bytes. Callers that have never run the query can pass the
+// stats produced by exec::CollectQueryStats-style dry accounting.
+int64_t EstimateWorkingSetBytes(const exec::QueryStats& stats);
+
+}  // namespace wimpi::service
+
+#endif  // WIMPI_SERVICE_ADMISSION_H_

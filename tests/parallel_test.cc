@@ -4,6 +4,7 @@
 // determinism guarantees must hold regardless of physical parallelism.
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <memory>
 #include <random>
 #include <stdexcept>
@@ -16,6 +17,7 @@
 #include "exec/join.h"
 #include "exec/relation_ops.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "parallel/cancellation.h"
 #include "parallel/task_scheduler.h"
 #include "parallel/thread_pool.h"
@@ -111,6 +113,34 @@ TEST(ThreadPoolTest, OnWorkerThreadDistinguishesCallers) {
   pool.Submit([&on_worker] { on_worker = ThreadPool::OnWorkerThread(); })
       .get();
   EXPECT_TRUE(on_worker);
+}
+
+TEST(ThreadPoolTest, QueueDepthGaugeTracksBacklog) {
+  obs::SetPoolMetricsEnabled(true);
+  auto& gauge = obs::MetricsRegistry::Global().gauge("pool.queue_depth");
+  {
+    ThreadPool pool(1);
+    // Pin the only worker so subsequent submits pile up in the queue.
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::promise<void> entered;
+    auto blocker = pool.Submit([&] {
+      entered.set_value();
+      released.wait();
+    });
+    entered.get_future().wait();
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 3; ++i) {
+      queued.push_back(pool.Submit([released] { released.wait(); }));
+    }
+    EXPECT_EQ(gauge.Value(), 3.0);
+    release.set_value();
+    blocker.get();
+    for (auto& f : queued) f.get();
+    // Every pop republished the depth; drained pool reads zero.
+    EXPECT_EQ(gauge.Value(), 0.0);
+  }
+  obs::SetPoolMetricsEnabled(false);
 }
 
 // ---------- Morsel splitting ----------

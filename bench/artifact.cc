@@ -206,9 +206,13 @@ CompareResult CompareArtifacts(const RunArtifact& base,
 
   int compared = 0;
   int skipped_measured = 0;
+  const auto selected = [&opts](const std::string& metric) {
+    return opts.only.empty() || metric.find(opts.only) != std::string::npos;
+  };
   for (const auto& [series, metrics] : base.rows) {
     const auto cur_series = current.rows.find(series);
     for (const auto& [metric, base_v] : metrics) {
+      if (!selected(metric)) continue;
       const double* cur_v = nullptr;
       if (cur_series != current.rows.end()) {
         const auto it = cur_series->second.find(metric);
@@ -245,6 +249,7 @@ CompareResult CompareArtifacts(const RunArtifact& base,
   // at rel_tol. A v1 baseline has none, so nothing is compared against it;
   // once a baseline carries them, coverage must not shrink.
   for (const auto& [name, base_v] : base.rollups) {
+    if (!selected(name)) continue;
     const auto it = current.rollups.find(name);
     if (it == current.rollups.end()) {
       if (opts.fail_on_missing) {

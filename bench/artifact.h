@@ -83,6 +83,10 @@ struct CompareOptions {
   // A series/metric present in the baseline but missing from the current
   // artifact fails the comparison (coverage must not silently shrink).
   bool fail_on_missing = true;
+  // When non-empty, only metrics whose name contains this substring are
+  // compared (missing-metric checks included). Lets CI gate one measured
+  // metric (e.g. "mean_latency") without gating the whole artifact.
+  std::string only;
 };
 
 struct CompareResult {

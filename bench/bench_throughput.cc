@@ -11,8 +11,21 @@
 // Artifact (--json=<path>): series "throughput" with deterministic gated
 // metrics (completed/rejected counts, per-query checksums, pipeline/task
 // counts, violation flags) plus measured wall metrics (informational
-// unless --wall-tol): wall_seconds, queries_per_wall_second, and
-// p50/p95/p99 latency.
+// unless --wall-tol): wall_seconds, queries_per_wall_second,
+// mean_latency_seconds, and p50/p95/p99 latency.
+//
+// Observability hooks (ISSUE #7):
+//   --slo-us N          per-query latency objective; enables the SLO
+//                       tracker and the flight recorder's latency trigger
+//   --slo-target F      attainment target for burn-rate (default 0.99)
+//   --straggler-ms N    injected sleep making stream 0's --straggler-query
+//                       a guaranteed slow query
+//   --flight-dump PATH  retroactive Chrome-trace dump path for triggers
+//   --slow-log PATH     write the slow-query log (JSONL) after the run
+//   --expo PATH         write the Prometheus exposition after the run
+//   --flight-off        disable the always-on flight recorder (overhead
+//                       A/B: run once with this flag, once without, and
+//                       gate mean_latency via wimpi_bench_compare --only)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,6 +41,10 @@
 #include "common/cli.h"
 #include "common/table_printer.h"
 #include "engine/executor.h"
+#include "obs/export/exposition.h"
+#include "obs/flight/flight_recorder.h"
+#include "obs/flight/slow_query_log.h"
+#include "obs/metrics.h"
 #include "service/admission.h"
 #include "service/query_service.h"
 #include "storage/column.h"
@@ -106,6 +123,16 @@ int main(int argc, char** argv) {
   const int query_threads = static_cast<int>(cli.GetInt("query-threads", 4));
   const int laps = static_cast<int>(cli.GetInt("laps", 1));
   const int64_t morsel_rows = cli.GetInt("morsel-rows", 64 * 1024);
+  const int64_t slo_us = cli.GetInt("slo-us", 0);
+  const double slo_target = cli.GetDouble("slo-target", 0.99);
+  const int64_t straggler_ms = cli.GetInt("straggler-ms", 0);
+  const int straggler_query = static_cast<int>(cli.GetInt("straggler-query", 6));
+  const std::string flight_dump = cli.GetString("flight-dump", "");
+  const std::string slow_log = cli.GetString("slow-log", "");
+  const std::string expo_path = cli.GetString("expo", "");
+  if (cli.GetBool("flight-off", false)) {
+    wimpi::obs::flight::FlightRecorder::Global().set_enabled(false);
+  }
 
   const wimpi::engine::Database db = wimpi::bench::LoadDb(physical_sf);
   const std::vector<int> queries = wimpi::bench::AllQueryNumbers();
@@ -138,6 +165,11 @@ int main(int argc, char** argv) {
   sopts.max_queue = streams * static_cast<int>(queries.size());
   sopts.query_threads = query_threads;
   sopts.morsel_rows = morsel_rows;
+  if (slo_us > 0) {
+    sopts.slo.default_objective_us = slo_us;
+    sopts.slo.target = slo_target;
+  }
+  sopts.flight.dump_path = flight_dump;
   wimpi::service::QueryService svc(sopts);
 
   std::atomic<int64_t> completed{0}, rejected{0}, failed{0}, mismatches{0};
@@ -162,7 +194,17 @@ int main(int argc, char** argv) {
             wimpi::service::QuerySpec spec;
             spec.label = "q" + std::to_string(q);
             spec.estimated_bytes = estimate[q];
-            spec.plan = [&db, q](wimpi::exec::QueryStats* st) {
+            // Straggler injection: stream 0's copy of the chosen query
+            // sleeps inside its plan, making it a guaranteed slow query
+            // for the flight recorder / slow-query-log CI checks.
+            const bool straggle =
+                straggler_ms > 0 && s == 0 && q == straggler_query;
+            spec.plan = [&db, q, straggle,
+                         straggler_ms](wimpi::exec::QueryStats* st) {
+              if (straggle) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(straggler_ms));
+              }
               return wimpi::tpch::RunQuery(q, db, st);
             };
             const double start = NowSeconds();
@@ -210,6 +252,9 @@ int main(int argc, char** argv) {
   const double p50 = Percentile(all_latencies, 0.50);
   const double p95 = Percentile(all_latencies, 0.95);
   const double p99 = Percentile(all_latencies, 0.99);
+  double mean_latency = 0;
+  for (const double l : all_latencies) mean_latency += l;
+  if (!all_latencies.empty()) mean_latency /= all_latencies.size();
   const int64_t total = completed.load() + rejected.load() + failed.load();
   const double qps = wall_seconds > 0 ? completed.load() / wall_seconds : 0;
 
@@ -224,6 +269,7 @@ int main(int argc, char** argv) {
   t.AddRow({"answer mismatches", std::to_string(mismatches.load())});
   t.AddRow({"wall seconds", TablePrinter::Fixed(wall_seconds, 3)});
   t.AddRow({"queries / sec", TablePrinter::Fixed(qps, 2)});
+  t.AddRow({"latency mean (s)", TablePrinter::Fixed(mean_latency, 4)});
   t.AddRow({"latency p50 (s)", TablePrinter::Fixed(p50, 4)});
   t.AddRow({"latency p95 (s)", TablePrinter::Fixed(p95, 4)});
   t.AddRow({"latency p99 (s)", TablePrinter::Fixed(p99, 4)});
@@ -234,6 +280,41 @@ int main(int argc, char** argv) {
   std::printf("\nStream-count vs tail-latency: raise --streams and watch "
               "p99 grow while queries/sec saturates near the pool's "
               "capacity (EXPERIMENTS.md).\n");
+
+  // ---- Observability outputs (ISSUE #7) ----
+  const auto scalars = wimpi::obs::MetricsRegistry::Global().ScalarSnapshot();
+  if (slo_us > 0) {
+    std::printf("\nSLO (objective %lld us, target %.3f):\n",
+                static_cast<long long>(slo_us), slo_target);
+    TablePrinter st({"Metric", "Value"});
+    for (const auto& [name, value] : scalars) {
+      if (name.rfind("slo.", 0) == 0) {
+        st.AddRow({name, TablePrinter::Fixed(value, 4)});
+      }
+    }
+    st.Print(std::cout);
+    auto& slog = wimpi::obs::flight::SlowQueryLog::Global();
+    std::printf("slow-query log: %lld entries (total %lld)\n",
+                static_cast<long long>(slog.size()),
+                static_cast<long long>(slog.total()));
+  }
+  if (!slow_log.empty() &&
+      !wimpi::obs::flight::SlowQueryLog::Global().WriteFile(slow_log)) {
+    std::fprintf(stderr, "FAIL: cannot write slow-query log %s\n",
+                 slow_log.c_str());
+    return 1;
+  }
+  if (!expo_path.empty()) {
+    const std::string text = wimpi::obs::ExpositionFormat::WriteGlobal();
+    std::FILE* f = std::fopen(expo_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "FAIL: cannot write exposition %s\n",
+                   expo_path.c_str());
+      return 1;
+    }
+  }
 
   // ---- Machine-readable artifact ----
   const std::string json_path = cli.GetString("json", "");
@@ -257,6 +338,7 @@ int main(int argc, char** argv) {
     // Measured (informational unless --wall-tol).
     row["wall_seconds"] = wall_seconds;
     row["queries_per_wall_second"] = qps;
+    row["mean_latency_seconds"] = mean_latency;
     row["p50_wall_seconds"] = p50;
     row["p95_wall_seconds"] = p95;
     row["p99_wall_seconds"] = p99;

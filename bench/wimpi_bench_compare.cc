@@ -9,6 +9,7 @@
 //       [--wall-tol 0]     gate measured (wall/seconds/speedup) metrics;
 //                          0 leaves them informational (different hosts)
 //       [--allow-missing]  don't fail when baseline metrics disappeared
+//       [--only <substr>]  compare only metrics whose name contains this
 #include <cstdio>
 #include <string>
 
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: wimpi_bench_compare <baseline.json> <current.json> "
                  "[--rel-tol 0.02] [--wall-tol 0] [--abs-floor 1e-6] "
-                 "[--allow-missing]\n");
+                 "[--allow-missing] [--only <substr>]\n");
     return 2;
   }
 
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   opts.abs_floor = cli.GetDouble("abs-floor", opts.abs_floor);
   opts.wall_tol = cli.GetDouble("wall-tol", opts.wall_tol);
   opts.fail_on_missing = !cli.GetBool("allow-missing", false);
+  opts.only = cli.GetString("only", "");
 
   const wimpi::bench::CompareResult result =
       wimpi::bench::CompareArtifacts(base, current, opts);

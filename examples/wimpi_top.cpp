@@ -17,6 +17,11 @@
 //
 //   ./examples/wimpi_top --service [--streams 4] [--sf 0.01]
 //                        [--iters 5] [--interval-ms 500] [--follow]
+//                        [--slo-us 250000]
+//
+// The service view also renders the always-on telemetry (ISSUE #7): SLO
+// attainment/burn-rate per priority class, flight-recorder totals, the
+// eventlog.dropped counter, and the tail of the slow-query log.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -30,6 +35,8 @@
 #include "cluster/wimpi_cluster.h"
 #include "common/cli.h"
 #include "common/table_printer.h"
+#include "obs/flight/flight_recorder.h"
+#include "obs/flight/slow_query_log.h"
 #include "obs/metrics.h"
 #include "service/query_service.h"
 #include "tpch/dbgen.h"
@@ -54,6 +61,7 @@ int RunServiceTop(const wimpi::CommandLine& cli) {
   const int iters = static_cast<int>(cli.GetInt("iters", 5));
   const int interval_ms = static_cast<int>(cli.GetInt("interval-ms", 500));
   const bool follow = cli.GetBool("follow", false);
+  const int64_t slo_us = cli.GetInt("slo-us", 250 * 1000);
 
   wimpi::tpch::GenOptions gen;
   gen.scale_factor = sf;
@@ -61,6 +69,7 @@ int RunServiceTop(const wimpi::CommandLine& cli) {
 
   wimpi::service::ServiceOptions sopts;
   sopts.track_session_metrics = true;
+  if (slo_us > 0) sopts.slo.default_objective_us = slo_us;
   wimpi::service::QueryService svc(sopts);
 
   std::atomic<bool> stop{false};
@@ -110,6 +119,62 @@ int RunServiceTop(const wimpi::CommandLine& cli) {
                 TablePrinter::Fixed(h.Percentile(0.99) / 1000.0, 2)});
     }
     t.Print(std::cout);
+
+    // SLO attainment per priority class (slo.p<class>.* scalars).
+    std::map<std::string, std::map<std::string, double>> slo_classes;
+    for (const auto& [name, value] : scalars) {
+      if (name.rfind("slo.p", 0) != 0) continue;
+      const size_t dot = name.find('.', 5);
+      if (dot == std::string::npos) continue;
+      slo_classes[name.substr(4, dot - 4)][name.substr(dot + 1)] = value;
+    }
+    if (!slo_classes.empty()) {
+      TablePrinter slo_t({"class", "objective (ms)", "attainment",
+                          "burn rate", "total", "breaches"});
+      for (const auto& [cls, fields] : slo_classes) {
+        auto field = [&](const std::string& key) {
+          const auto it = fields.find(key);
+          return it == fields.end() ? 0.0 : it->second;
+        };
+        slo_t.AddRow({cls,
+                      TablePrinter::Fixed(field("objective_us") / 1000.0, 1),
+                      TablePrinter::Fixed(field("attainment"), 4),
+                      TablePrinter::Fixed(field("burn_rate"), 2),
+                      TablePrinter::Fixed(field("total"), 0),
+                      TablePrinter::Fixed(field("breaches"), 0)});
+      }
+      slo_t.Print(std::cout);
+    }
+
+    // Flight recorder + structured-log health, from the same registry a
+    // scraper would read.
+    const auto& rec = wimpi::obs::flight::FlightRecorder::Global();
+    std::printf(
+        "flight: %s, %lld events in %zu ring(s) (%lld overwritten) | "
+        "triggers: latency %.0f, status %.0f, fault %.0f | dumps %.0f | "
+        "eventlog dropped %.0f\n",
+        rec.enabled() ? "on" : "off",
+        static_cast<long long>(rec.TotalRecorded()), rec.ring_count(),
+        static_cast<long long>(rec.TotalDropped()),
+        scalar("flight.trigger.latency"), scalar("flight.trigger.status"),
+        scalar("flight.trigger.fault"), scalar("flight.dumps"),
+        scalar("eventlog.dropped"));
+
+    // Tail of the slow-query log: the most recent triggered queries.
+    const auto slow = wimpi::obs::flight::SlowQueryLog::Global().Snapshot();
+    if (!slow.empty()) {
+      TablePrinter sq({"slow query", "trigger", "status", "wall (ms)",
+                       "queue (ms)", "cpu (ms)"});
+      const size_t first = slow.size() > 3 ? slow.size() - 3 : 0;
+      for (size_t k = first; k < slow.size(); ++k) {
+        const auto& e = slow[k];
+        sq.AddRow({e.label, e.trigger, e.status,
+                   TablePrinter::Fixed(e.report.wall_us / 1000.0, 2),
+                   TablePrinter::Fixed(e.report.queue_wait_us / 1000.0, 2),
+                   TablePrinter::Fixed(e.report.cpu_us / 1000.0, 2)});
+      }
+      sq.Print(std::cout);
+    }
   }
 
   stop.store(true, std::memory_order_relaxed);

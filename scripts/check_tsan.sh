@@ -17,7 +17,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 cmake --build "${build_dir}" \
   --target parallel_test parallel_queries_test obs_test obs_queries_test \
            obs_perf_test obs_export_test memory_tracker_test fault_test \
-           service_test -j
+           service_test flight_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -45,5 +45,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # drain slots vs query drivers, admission reserve/release, cancellation
 # and deadline racing mid-pipeline, the many-sessions stress case).
 "${build_dir}/tests/service_test"
+# Flight recorder: lock-free per-thread rings written by pool workers and
+# drivers while triggers snapshot them, plus the SLO tracker and
+# slow-query log under the service's concurrent finalize path.
+"${build_dir}/tests/flight_test"
 
 echo "TSan parallel + obs test pass: OK"

@@ -5,25 +5,29 @@
 # runtimes and recovery counters gated the same way), a traced run of the
 # same fault scenario structurally validated by wimpi_trace_check, a
 # concurrent-streams throughput smoke (answer identity + admission
-# invariants gated against the committed baseline), then the sanitizer
-# passes (TSan over the parallel + service + observability + fault tests,
-# ASan over everything). Each stage fails the script on the first error.
+# invariants gated against the committed baseline), a flight-recorder
+# stage (tight SLO + injected straggler must produce a structurally valid
+# flight dump / slow-query log / exposition, and recording must not move
+# mean latency), then the sanitizer passes (TSan over the parallel +
+# service + observability + fault tests, ASan over everything). Each
+# stage fails the script on the first error.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 #   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # skip TSan/ASan stages
 #   WIMPI_CI_SKIP_BENCH=1 scripts/ci.sh        # skip the bench-smoke gate
+#   WIMPI_CI_FLIGHT_TOL=0.15 scripts/ci.sh     # flight-overhead gate (frac)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-echo "=== [1/7] build + tests ==="
+echo "=== [1/8] build + tests ==="
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure
 
 if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "=== [2/7] bench smoke + artifact regression gate ==="
+  echo "=== [2/8] bench smoke + artifact regression gate ==="
   # Small physical SF keeps this a smoke run; the gated rows are modeled
   # runtimes (deterministic: fixed dbgen seed x Table I profiles), so a
   # committed baseline is stable across hosts. Wall times in the artifact
@@ -34,7 +38,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table2_sf1.json" "${artifact}"
 
-  echo "=== [3/7] fault-injection smoke + regression gate ==="
+  echo "=== [3/8] fault-injection smoke + regression gate ==="
   # Same idea under a fixed fault seed: the degraded-mode runtimes and
   # recovery counters are pure functions of (dbgen seed, cost model, fault
   # seed), so they regress against a committed baseline like clean runs.
@@ -44,7 +48,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table3_faults.json" "${fault_artifact}"
 
-  echo "=== [4/7] traced fault run + trace structure gate ==="
+  echo "=== [4/8] traced fault run + trace structure gate ==="
   # Re-run the same fault scenario with telemetry on and validate the
   # export: one coherent span tree (every retry parented to the attempt it
   # retried, every fault flow-linked to the retry it caused) and a
@@ -58,7 +62,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_trace_check" "${trace_file}" \
     --events "${events_file}"
 
-  echo "=== [5/7] throughput smoke + regression gate ==="
+  echo "=== [5/8] throughput smoke + regression gate ==="
   # Concurrent streams through the query service: the bench itself exits
   # nonzero on any answer differing from isolated execution or on a peak
   # reservation above the budget; the gated artifact rows (counts, per-
@@ -70,15 +74,54 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_throughput.json" \
     "${throughput_artifact}"
+
+  echo "=== [6/8] flight recorder + SLO gate ==="
+  # Run the throughput bench with a deliberately tight SLO and one injected
+  # straggler query per lap: every lap must trip a tail-based trigger, so
+  # the run must leave behind flight dumps (base path + ".1", ...), a
+  # slow-query log, and an exposition snapshot. wimpi_flight_check
+  # validates structure (span nesting, event windows) and causality
+  # (submit <= admit <= finish, cpu == driver + worker, queue wait <=
+  # wall, the dumped window covers its triggering slow query).
+  flight_dump="${build_dir}/BENCH_flight.trace.json"
+  slow_log="${build_dir}/BENCH_flight.slow.jsonl"
+  expo_file="${build_dir}/BENCH_flight.prom"
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_throughput" \
+    --streams 2 --laps 2 --physical-sf 0.01 \
+    --slo-us 100000 --straggler-ms 150 \
+    --flight-dump "${flight_dump}" --slow-log "${slow_log}" \
+    --expo "${expo_file}" > /dev/null
+  "${build_dir}/bench/wimpi_flight_check" "${flight_dump}" \
+    --slow-log "${slow_log}" --expo "${expo_file}" --min-slow 2
+
+  # Overhead gate: the always-on recorder must not move mean latency.
+  # A/B on the same straggler-free workload, flight off vs on; only the
+  # mean-latency rollup is compared (everything else in the artifact is
+  # answer checksums already gated above). The tolerance is env-overridable
+  # because single-core CI hosts are noisy; the paper-facing budget is the
+  # TotalRecorded cost of one relaxed store per event, asserted in
+  # flight_test, not wall time.
+  flight_tol="${WIMPI_CI_FLIGHT_TOL:-0.15}"
+  flight_off="${build_dir}/BENCH_flight_off.json"
+  flight_on="${build_dir}/BENCH_flight_on.json"
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_throughput" \
+    --streams 2 --laps 2 --physical-sf 0.01 --flight-off \
+    --json "${flight_off}" > /dev/null
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_throughput" \
+    --streams 2 --laps 2 --physical-sf 0.01 \
+    --json "${flight_on}" > /dev/null
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${flight_off}" "${flight_on}" \
+    --only mean_latency --wall-tol "${flight_tol}"
 else
   echo "=== bench stages skipped (WIMPI_CI_SKIP_BENCH=1) ==="
 fi
 
 if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "=== [6/7] ThreadSanitizer (parallel + service + obs + faults) ==="
+  echo "=== [7/8] ThreadSanitizer (parallel + service + obs + faults) ==="
   "${repo_root}/scripts/check_tsan.sh"
 
-  echo "=== [7/7] AddressSanitizer (full suite) ==="
+  echo "=== [8/8] AddressSanitizer (full suite) ==="
   "${repo_root}/scripts/check_asan.sh"
 else
   echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="

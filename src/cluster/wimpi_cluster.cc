@@ -11,6 +11,7 @@
 #include "exec/exec_options.h"
 #include "obs/export/aggregate.h"
 #include "obs/export/event_log.h"
+#include "obs/flight/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/tracing/span.h"
@@ -426,6 +427,12 @@ Result<DistributedRun> WimpiCluster::Run(int q,
         done = true;
       } else {
         ++run.retries;
+        // Flight-recorder fault trigger: lands in the always-on rings
+        // (and retroactively dumps the recent window when a fault dump
+        // path is configured), so a service run disturbed by a simulated
+        // fault can be explained after the fact.
+        obs::flight::FlightRecorder::NoteFault(
+            node, static_cast<int64_t>(outcome));
         if (elog.enabled()) {
           elog.Record(obs::EventLevel::kWarn, "cluster", "attempt.failed",
                       {{"q", q},

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace wimpi::obs {
 
@@ -17,6 +18,21 @@ inline int64_t NowMicros() {
 
 inline double MicrosToSeconds(int64_t us) {
   return static_cast<double>(us) * 1e-6;
+}
+
+// CPU time consumed by the calling thread, in microseconds. One
+// clock_gettime(CLOCK_THREAD_CPUTIME_ID) syscall (~100-200 ns); call
+// sites amortize it per morsel or per query, never per tuple. Returns 0
+// where the clock is unavailable so accounting degrades to "unknown"
+// instead of failing.
+inline int64_t ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace wimpi::obs

@@ -5,6 +5,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "obs/clock.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace wimpi::obs {
@@ -36,12 +37,26 @@ EventLevel EventLog::min_level() const {
   return static_cast<EventLevel>(min_level_.load(std::memory_order_relaxed));
 }
 
+void EventLog::NoteDropped() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  // Resolve the registry counter once; Counter::Add is lock-free, so
+  // holding mu_ across the bump cannot invert lock order with the
+  // registry (only the first resolution takes the registry mutex, and
+  // the registry never calls back into the event log).
+  Counter* c = dropped_counter_.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    c = &MetricsRegistry::Global().counter("eventlog.dropped");
+    dropped_counter_.store(c, std::memory_order_release);
+  }
+  c->Add(1);
+}
+
 void EventLog::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (events_.size() > capacity_) {
     events_.pop_front();
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    NoteDropped();
   }
 }
 
@@ -64,7 +79,7 @@ void EventLog::Record(EventLevel level, std::string component,
   events_.push_back(std::move(rec));
   while (events_.size() > capacity_) {
     events_.pop_front();
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    NoteDropped();
   }
 }
 

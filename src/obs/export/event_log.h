@@ -10,6 +10,8 @@
 
 namespace wimpi::obs {
 
+class Counter;
+
 enum class EventLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 const char* EventLevelName(EventLevel level);
@@ -84,9 +86,14 @@ class EventLog {
  private:
   EventLog() = default;
 
+  // Bumps dropped_ and mirrors it into the registry's "eventlog.dropped"
+  // counter so scrapers see evictions without polling dropped().
+  void NoteDropped();
+
   std::atomic<bool> enabled_{false};
   std::atomic<int> min_level_{static_cast<int>(EventLevel::kInfo)};
   std::atomic<int64_t> dropped_{0};
+  std::atomic<Counter*> dropped_counter_{nullptr};
   mutable std::mutex mu_;
   size_t capacity_ = 4096;
   std::deque<EventRecord> events_;

@@ -17,16 +17,27 @@ struct ExpositionSample {
   double value = 0;
 };
 
+// Per-metric metadata parsed back from `# HELP` / `# TYPE` comment lines,
+// keyed by the (sanitized) metric name.
+struct ExpositionMeta {
+  std::string type;  // "counter" | "gauge" | "histogram"
+  std::string help;
+};
+
 // Prometheus text-format exposition of a metrics snapshot.
 //
-// Writer: counters become `# TYPE <n> counter` + one sample, gauges the
-// same with type gauge, histograms become the standard cumulative
+// Writer: every metric family gets a `# HELP <n> <text>` line (help text
+// from a built-in description table) and a `# TYPE <n> <kind>` line;
+// counters and gauges emit one sample, histograms the standard cumulative
 // `<n>_bucket{le="..."}` series (including le="+Inf") plus `<n>_sum` and
 // `<n>_count`. Metric names are sanitized (dots and other invalid
-// characters -> underscores) since wimpi names use dotted paths.
+// characters -> underscores) since wimpi names use dotted paths; label
+// values are escaped per the exposition format (backslash, quote,
+// newline).
 //
-// Parser: reads the same subset of the format back into samples, so tests
-// and tools can round-trip an exposition without a real Prometheus.
+// Parser: reads the same subset of the format back into samples — both
+// comment forms round-trip through the optional metadata map — so tests
+// and tools can consume an exposition without a real Prometheus.
 class ExpositionFormat {
  public:
   static std::string Write(const RegistrySnapshot& snapshot);
@@ -37,10 +48,25 @@ class ExpositionFormat {
   // Maps a dotted wimpi metric name to a valid Prometheus name.
   static std::string SanitizeName(const std::string& name);
 
-  // Parses exposition text ("# ..." comments skipped). Returns false and
-  // fills *error on a malformed sample line.
+  // One-line human description for a (dotted) wimpi metric name, used
+  // for the `# HELP` line. Unknown names get a generic description.
+  static std::string HelpFor(const std::string& name);
+
+  // Escapes a label value for the exposition format: backslash, double
+  // quote, and newline get backslash escapes.
+  static std::string EscapeLabelValue(const std::string& value);
+
+  // Parses exposition text. `# HELP` / `# TYPE` comments are captured
+  // into *meta when given (other comments are skipped). Returns false
+  // and fills *error (with a line number) on a malformed sample line;
+  // samples before the malformed line are kept in *out so callers can
+  // recover what was parseable.
   static bool Parse(const std::string& text,
                     std::vector<ExpositionSample>* out, std::string* error);
+  static bool Parse(const std::string& text,
+                    std::vector<ExpositionSample>* out,
+                    std::map<std::string, ExpositionMeta>* meta,
+                    std::string* error);
 };
 
 }  // namespace wimpi::obs

@@ -1,0 +1,61 @@
+#ifndef WIMPI_OBS_FLIGHT_SLOW_QUERY_LOG_H_
+#define WIMPI_OBS_FLIGHT_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/flight/resource_report.h"
+
+namespace wimpi::obs::flight {
+
+// One slow-query-log entry: why the query tripped a tail-based trigger
+// ("latency" = over its objective, "status" = cancelled/timed out/
+// rejected, "fault" = a cluster fault fired during it) plus its full
+// resource report.
+struct SlowQueryEntry {
+  int64_t ts_us = 0;  // finish time
+  std::string label;
+  std::string session;
+  std::string status;   // Status::CodeName
+  std::string trigger;  // "latency" | "status" | "fault"
+  double priority = 0;
+  QueryResourceReport report;
+};
+
+// Process-wide structured slow-query log: bounded ring, thread-safe,
+// always on. Entries arrive only from tail-based triggers, so the mutex
+// is off the per-query fast path entirely — a service meeting its SLOs
+// never appends.
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Global();
+
+  void Append(SlowQueryEntry entry);
+
+  std::vector<SlowQueryEntry> Snapshot() const;
+  size_t size() const;
+  int64_t total() const;  // lifetime appends (survives ring eviction)
+  void Clear();
+  void set_capacity(size_t capacity);
+
+  // One flat JSON object per line, e.g.
+  //   {"ts_us":...,"query":7,"label":"q18","session":"s0","status":
+  //    "OK","trigger":"latency","priority":1,"wall_us":...,"cpu_us":...}
+  std::string ToJsonl() const;
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  SlowQueryLog() = default;
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 256;
+  int64_t total_ = 0;
+  std::deque<SlowQueryEntry> entries_;
+};
+
+}  // namespace wimpi::obs::flight
+
+#endif  // WIMPI_OBS_FLIGHT_SLOW_QUERY_LOG_H_

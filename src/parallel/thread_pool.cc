@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/clock.h"
+#include "obs/flight/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -99,6 +100,11 @@ void ThreadPool::WorkerLoop(int worker_index) {
     }
     if (!instrumented) {
       task.fn();
+      // Flight recorder is always on (one relaxed load + a few relaxed
+      // stores); pool tasks are coarse units (drain slots, parallel-for
+      // helpers), so this is nowhere near the per-morsel path.
+      obs::flight::FlightRecorder::Record(obs::flight::EventKind::kPoolTask,
+                                          0, worker_index, 0);
       continue;
     }
     metrics.Ensure(worker_index);
@@ -117,6 +123,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
     metrics.busy_us->Add(end - start);
     metrics.task_run_us->Record(static_cast<double>(end - start));
     metrics.tasks->Add(1);
+    obs::flight::FlightRecorder::Record(obs::flight::EventKind::kPoolTask, 0,
+                                        worker_index, end - start);
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "obs/clock.h"
+#include "obs/flight/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -42,9 +43,12 @@ struct FairPipelineScheduler::Lane {
   parallel::CancellationToken* cancel = nullptr;
   int64_t deadline_us = 0;
   bool deadline_fired = false;
+  uint64_t flight_id = 0;  // query id for flight-recorder events
   std::list<ActivePipeline*> pipelines;
   int64_t pipelines_run = 0;
   int64_t tasks_run = 0;
+  int64_t rows_run = 0;
+  int64_t worker_cpu_us = 0;  // drain-slot CPU only (see LaneUsage)
 };
 
 FairPipelineScheduler::FairPipelineScheduler(parallel::ThreadPool* pool)
@@ -68,7 +72,7 @@ FairPipelineScheduler::~FairPipelineScheduler() {
 
 int FairPipelineScheduler::OpenLane(double priority,
                                     parallel::CancellationToken* cancel,
-                                    int64_t deadline_us) {
+                                    int64_t deadline_us, uint64_t flight_id) {
   WIMPI_CHECK(cancel != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   const int id = next_lane_id_++;
@@ -76,6 +80,7 @@ int FairPipelineScheduler::OpenLane(double priority,
   lane.stride = kStrideBase / std::max(priority, 1e-3);
   lane.cancel = cancel;
   lane.deadline_us = deadline_us;
+  lane.flight_id = flight_id;
   // Join at the smallest pass currently in play: the new lane competes on
   // equal footing from now on instead of monopolizing the pool to "catch
   // up" on time it was not even submitted for.
@@ -90,15 +95,18 @@ int FairPipelineScheduler::OpenLane(double priority,
   return id;
 }
 
-void FairPipelineScheduler::CloseLane(int lane_id, int64_t* pipelines,
-                                      int64_t* tasks) {
+void FairPipelineScheduler::CloseLane(int lane_id, LaneUsage* usage) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = lanes_.find(lane_id);
   WIMPI_CHECK(it != lanes_.end()) << "closing unknown lane " << lane_id;
   WIMPI_CHECK(it->second.pipelines.empty())
       << "closing lane " << lane_id << " with an active pipeline";
-  if (pipelines != nullptr) *pipelines = it->second.pipelines_run;
-  if (tasks != nullptr) *tasks = it->second.tasks_run;
+  if (usage != nullptr) {
+    usage->pipelines = it->second.pipelines_run;
+    usage->tasks = it->second.tasks_run;
+    usage->rows = it->second.rows_run;
+    usage->worker_cpu_us = it->second.worker_cpu_us;
+  }
   lanes_.erase(it);
 }
 
@@ -154,16 +162,23 @@ bool FairPipelineScheduler::PickTask(Lane** lane_out,
 }
 
 void FairPipelineScheduler::RunOneTask(std::unique_lock<std::mutex>& lock,
-                                       Lane* lane, ActivePipeline* p) {
+                                       Lane* lane, ActivePipeline* p,
+                                       bool remote) {
   const parallel::Morsel m = p->morsels[p->next++];
   ++p->in_flight;
   lane->pass += lane->stride;
   ++lane->tasks_run;
+  lane->rows_run += m.rows();
+  const uint64_t flight_id = lane->flight_id;
   const std::function<void(const parallel::Morsel&)>* body = p->body;
   const char* label = p->label;
   const obs::SpanContext trace_ctx = p->trace_ctx;
   lock.unlock();
 
+  // Per-morsel CPU accounting applies only to drain-slot (pool worker)
+  // execution: the driver's own morsels fall inside its whole-query CPU
+  // window, so measuring them here would double-count.
+  const int64_t cpu0 = remote ? obs::ThreadCpuMicros() : 0;
   std::exception_ptr error;
   try {
     if (trace_ctx.valid()) {
@@ -180,8 +195,12 @@ void FairPipelineScheduler::RunOneTask(std::unique_lock<std::mutex>& lock,
     error = std::current_exception();
   }
   tasks_counter_->Add(1);
+  obs::flight::FlightRecorder::Record(obs::flight::EventKind::kMorselBatch,
+                                      flight_id, m.index, m.rows());
+  const int64_t cpu_us = remote ? obs::ThreadCpuMicros() - cpu0 : 0;
 
   lock.lock();
+  if (remote) lane->worker_cpu_us += cpu_us;
   --p->in_flight;
   if (error != nullptr) {
     if (p->error == nullptr) p->error = error;
@@ -211,7 +230,7 @@ void FairPipelineScheduler::DrainSlot() {
       return;
     }
     ++p->remote_in_flight;
-    RunOneTask(lock, lane, p);
+    RunOneTask(lock, lane, p, /*remote=*/true);
     --p->remote_in_flight;
   }
 }
@@ -251,6 +270,10 @@ void FairPipelineScheduler::RunPipeline(int lane_id,
   WIMPI_CHECK(lane_it != lanes_.end()) << "pipeline on unknown lane";
   Lane& lane = lane_it->second;
   ++lane.pipelines_run;
+  const int64_t pipeline_start_us = obs::NowMicros();
+  obs::flight::FlightRecorder::Record(
+      obs::flight::EventKind::kPipelineStart, lane.flight_id,
+      static_cast<int32_t>(morsels.size()), spec.total_rows);
   lane.pipelines.push_back(&p);
   EnsureSlots(slots_running_ +
               std::min<int>(spec.max_threads - 1,
@@ -270,7 +293,7 @@ void FairPipelineScheduler::RunPipeline(int lane_id,
       p.next = p.morsels.size();  // skip unclaimed; in-flight ones finish
     }
     if (p.next < p.morsels.size()) {
-      RunOneTask(lock, &lane, &p);
+      RunOneTask(lock, &lane, &p, /*remote=*/false);
       continue;
     }
     if (p.in_flight == 0) break;
@@ -283,6 +306,10 @@ void FairPipelineScheduler::RunPipeline(int lane_id,
     }
   }
   lane.pipelines.remove(&p);
+  obs::flight::FlightRecorder::Record(
+      obs::flight::EventKind::kPipelineEnd, lane.flight_id,
+      static_cast<int32_t>(morsels.size()),
+      obs::NowMicros() - pipeline_start_us);
   if (p.error != nullptr) {
     lock.unlock();
     std::rethrow_exception(p.error);

@@ -17,6 +17,18 @@ class Counter;
 
 namespace wimpi::service {
 
+// Lifetime totals of one closed lane, reported by CloseLane: pipelines
+// run through the parallel path, morsel tasks executed, rows those tasks
+// covered, and CPU time the *pool workers* (drain slots) spent on them —
+// driver-run morsels are covered by the driver thread's own CPU clock,
+// so worker_cpu_us + the driver's thread time never double-counts.
+struct LaneUsage {
+  int64_t pipelines = 0;
+  int64_t tasks = 0;
+  int64_t rows = 0;
+  int64_t worker_cpu_us = 0;
+};
+
 // Stride-scheduling quantum: a lane with priority p advances its pass by
 // kStrideBase / p per morsel it runs, and the scheduler always dispatches
 // from the lane with the smallest pass — so over any window the morsel
@@ -68,15 +80,14 @@ class FairPipelineScheduler {
   // throughput. `cancel` (required, caller-owned, must outlive the lane)
   // gates every dispatch. `deadline_us` > 0 (obs::NowMicros clock) makes
   // the scheduler fire `cancel` at the first dispatch past the deadline.
+  // `flight_id` tags the lane's flight-recorder events (0 = untagged).
   // Returns the lane id.
   int OpenLane(double priority, parallel::CancellationToken* cancel,
-               int64_t deadline_us = 0);
+               int64_t deadline_us = 0, uint64_t flight_id = 0);
 
-  // Closes a lane; no pipeline may be active on it. Out-parameters (either
-  // may be null) report the lane's lifetime totals: pipelines run through
-  // the parallel path and morsel tasks executed.
-  void CloseLane(int lane_id, int64_t* pipelines = nullptr,
-                 int64_t* tasks = nullptr);
+  // Closes a lane; no pipeline may be active on it. `usage` (may be null)
+  // receives the lane's lifetime totals.
+  void CloseLane(int lane_id, LaneUsage* usage = nullptr);
 
   // True once the lane's deadline fired its cancellation token (reported
   // so the driver can distinguish timeout from external cancellation).
@@ -100,9 +111,11 @@ class FairPipelineScheduler {
   // Caller must hold mu_. Returns false when nothing is runnable.
   bool PickTask(Lane** lane_out, ActivePipeline** pipe_out);
   // Claims the next morsel of `p` for `lane` and runs it outside the
-  // lock; `lock` is held on entry and on return.
+  // lock; `lock` is held on entry and on return. `remote` marks drain-slot
+  // (pool worker) execution, which additionally accounts thread CPU time
+  // to the lane.
   void RunOneTask(std::unique_lock<std::mutex>& lock, Lane* lane,
-                  ActivePipeline* p);
+                  ActivePipeline* p, bool remote);
   void DrainSlot();
   void EnsureSlots(int wanted);  // caller must hold mu_
 

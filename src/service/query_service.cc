@@ -1,14 +1,18 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "exec/exec_options.h"
 #include "obs/clock.h"
+#include "obs/flight/flight_recorder.h"
+#include "obs/flight/slow_query_log.h"
 #include "obs/metrics.h"
 #include "obs/tracing/span.h"
 #include "parallel/cancellation.h"
@@ -16,6 +20,12 @@
 
 namespace wimpi::service {
 namespace internal {
+
+namespace flight = obs::flight;
+
+// Service-wide query ids tag flight-recorder events; process-global so
+// dumps mixing several QueryService instances stay unambiguous.
+std::atomic<uint64_t> g_next_query_id{1};
 
 enum class TicketPhase { kQueued, kRunning, kDone };
 
@@ -26,6 +36,7 @@ enum class TicketPhase { kQueued, kRunning, kDone };
 // lock but only read after the mutex-published transition to kDone.
 struct TicketState {
   QuerySpec spec;
+  uint64_t query_id = 0;
   double priority = 1.0;
   int threads = 1;
   int64_t deadline_us = 0;  // obs::NowMicros clock, from submission; 0 = none
@@ -33,6 +44,9 @@ struct TicketState {
   int64_t submit_us = 0;
   int64_t admit_us = 0;
   int64_t finish_us = 0;
+  int64_t driver_cpu_us = 0;  // driver thread CPU across ExecuteQuery
+  LaneUsage usage;            // lane totals (tasks, rows, worker CPU)
+  flight::QueryResourceReport report;
 
   TicketPhase phase = TicketPhase::kQueued;
   bool entered_queue = false;  // false for immediate rejects
@@ -51,12 +65,24 @@ struct ServiceCore {
   ServiceOptions opts;
   AdmissionController admission;
   FairPipelineScheduler scheduler;
+  SloTracker slo;
 
   mutable std::mutex mu;
   std::condition_variable work_cv;  // drivers wait here for work / memory
   std::deque<std::shared_ptr<TicketState>> pending;
   int running = 0;
   bool stopping = false;
+
+  // Flight dumps requested by FinalizeLocked (which holds mu): queued
+  // here and written after the lock is released — a dump walks every
+  // recorder ring and writes files, far too heavy for the service mutex.
+  struct PendingDump {
+    int64_t since_us = 0;
+    std::string path;
+  };
+  std::vector<PendingDump> pending_dumps;
+  int dumps_done = 0;
+  int dump_seq = 0;
 
   obs::Counter* submitted;
   obs::Counter* completed;
@@ -69,9 +95,11 @@ struct ServiceCore {
   obs::Histogram* queue_wait_h;
   obs::Histogram* exec_h;
   obs::Histogram* latency_h;
+  obs::Counter* trigger_latency_c;
+  obs::Counter* trigger_status_c;
 
   ServiceCore(const ServiceOptions& o, parallel::ThreadPool* pool)
-      : opts(o), admission({o.budget_bytes}), scheduler(pool) {
+      : opts(o), admission({o.budget_bytes}), scheduler(pool), slo(o.slo) {
     auto& reg = obs::MetricsRegistry::Global();
     submitted = &reg.counter("service.submitted");
     completed = &reg.counter("service.completed");
@@ -84,6 +112,8 @@ struct ServiceCore {
     queue_wait_h = &reg.histogram("service.queue_wait_us");
     exec_h = &reg.histogram("service.exec_us");
     latency_h = &reg.histogram("service.latency_us");
+    trigger_latency_c = &reg.counter("flight.trigger.latency");
+    trigger_status_c = &reg.counter("flight.trigger.status");
   }
 
   // Caller must hold mu. Publishes the terminal state and all metrics.
@@ -110,14 +140,23 @@ struct ServiceCore {
         failed->Add(1);
         break;
     }
+    const int64_t wall = t->finish_us - t->submit_us;
+    // Queue-wait covers every query that ever waited, not only admitted
+    // ones: a query cancelled or rejected *while queued* waited its whole
+    // life, and skipping those was survivorship bias in the tail metrics.
+    const int64_t queue_wait =
+        t->admit_us > 0 ? t->admit_us - t->submit_us
+                        : (t->entered_queue ? wall : 0);
+    if (t->admit_us > 0) {
+      queue_wait_h->Record(static_cast<double>(queue_wait));
+      exec_h->Record(static_cast<double>(t->finish_us - t->admit_us));
+    } else if (t->entered_queue) {
+      queue_wait_h->Record(static_cast<double>(queue_wait));
+    }
     // Latency histograms cover queries that entered the queue; immediate
     // rejects would only drag the percentiles toward zero.
-    if (t->admit_us > 0) {
-      queue_wait_h->Record(static_cast<double>(t->admit_us - t->submit_us));
-      exec_h->Record(static_cast<double>(t->finish_us - t->admit_us));
-    }
     if (t->entered_queue) {
-      const double latency = static_cast<double>(t->finish_us - t->submit_us);
+      const double latency = static_cast<double>(wall);
       latency_h->Record(latency);
       if (opts.track_session_metrics && !t->spec.session_id.empty()) {
         obs::MetricsRegistry::Global()
@@ -125,15 +164,116 @@ struct ServiceCore {
             .Record(latency);
       }
     }
+
+    // Per-query resource report: always built, attached to the ticket.
+    flight::QueryResourceReport& r = t->report;
+    r.query_id = t->query_id;
+    r.wall_us = wall;
+    r.queue_wait_us = queue_wait;
+    r.exec_us = t->admit_us > 0 ? t->finish_us - t->admit_us : 0;
+    r.driver_cpu_us = t->driver_cpu_us;
+    r.worker_cpu_us = t->usage.worker_cpu_us;
+    r.cpu_us = r.driver_cpu_us + r.worker_cpu_us;
+    r.pipelines = t->usage.pipelines;
+    r.tasks = t->usage.tasks;
+    r.rows = t->usage.rows;
+    r.bytes_scanned = t->stats.TotalSeqBytes();
+    r.mem_peak_bytes = t->stats.peak_intermediate_bytes;
+    r.threads = t->threads;
+    t->pipelines = t->usage.pipelines;
+    t->tasks = t->usage.tasks;
+
+    // SLO accounting: every query that entered the queue counts, and a
+    // reject/cancel/timeout is a miss — unserved is unserved.
+    if (t->entered_queue && slo.enabled()) {
+      slo.Record(t->priority, status.ok(), wall, t->finish_us);
+    }
+
+    // Flight-recorder terminal event.
+    const StatusCode code = status.code();
+    if (t->admit_us == 0 && code == StatusCode::kCancelled) {
+      flight::FlightRecorder::Record(flight::EventKind::kQueryCancelQueued,
+                                     t->query_id, 0, queue_wait);
+    } else if (t->admit_us == 0 && !status.ok()) {
+      flight::FlightRecorder::Record(flight::EventKind::kQueryReject,
+                                     t->query_id, static_cast<int32_t>(code),
+                                     queue_wait);
+    } else {
+      flight::FlightRecorder::Record(flight::EventKind::kQueryFinish,
+                                     t->query_id, static_cast<int32_t>(code),
+                                     wall);
+    }
+
+    // Tail-based triggers: a matching query lands in the slow-query log
+    // and (when configured) schedules a retroactive flight dump. Dumps
+    // are queued for after the mutex release (see pending_dumps).
+    const char* trigger = nullptr;
+    if (opts.flight.on_error &&
+        (code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted)) {
+      trigger = "status";
+    }
+    int64_t threshold = opts.flight.latency_threshold_us;
+    if (threshold == 0) threshold = slo.ObjectiveFor(t->priority);
+    if (trigger == nullptr && threshold > 0 && wall > threshold) {
+      trigger = "latency";
+    }
+    if (trigger != nullptr) {
+      (trigger[0] == 'l' ? trigger_latency_c : trigger_status_c)->Add(1);
+      flight::SlowQueryEntry entry;
+      entry.ts_us = t->finish_us;
+      entry.label = t->spec.label;
+      entry.session = t->spec.session_id;
+      entry.status = Status::CodeName(code);
+      entry.trigger = trigger;
+      entry.priority = t->priority;
+      entry.report = r;
+      flight::SlowQueryLog::Global().Append(std::move(entry));
+      if (!opts.flight.dump_path.empty() &&
+          dumps_done < opts.flight.max_dumps) {
+        ++dumps_done;
+        std::string path = opts.flight.dump_path;
+        if (dump_seq > 0) {
+          path += '.';
+          path += std::to_string(dump_seq);
+        }
+        ++dump_seq;
+        pending_dumps.push_back(
+            {t->submit_us - opts.flight.window_margin_us, std::move(path)});
+      }
+    }
+
     t->status = std::move(status);
     t->phase = TicketPhase::kDone;
     t->done_cv.notify_all();
   }
 
+  // Writes any dumps FinalizeLocked queued. Caller must NOT hold mu.
+  void FlushDumps() {
+    std::vector<PendingDump> dumps;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      dumps.swap(pending_dumps);
+    }
+    for (const PendingDump& d : dumps) {
+      std::string error;
+      if (!flight::FlightRecorder::Global().DumpSince(d.since_us, d.path,
+                                                      &error)) {
+        WIMPI_LOG(Warning) << "flight dump to " << d.path
+                        << " failed: " << error;
+      }
+    }
+  }
+
   // Runs the claimed query on this driver thread. Called without mu held.
   Status ExecuteQuery(TicketState* t) {
-    const int lane =
-        scheduler.OpenLane(t->priority, &t->token, t->deadline_us);
+    // Whole-query driver CPU window: covers sequential phases and every
+    // driver-run morsel; drain-slot morsels are accounted separately by
+    // the lane (LaneUsage::worker_cpu_us).
+    const int64_t cpu0 = obs::ThreadCpuMicros();
+    const int lane = scheduler.OpenLane(t->priority, &t->token,
+                                        t->deadline_us, t->query_id);
     Status status;
     {
       LaneScheduler lane_sched(&scheduler, lane);
@@ -155,7 +295,8 @@ struct ServiceCore {
       }
     }
     const bool deadline_fired = scheduler.LaneDeadlineFired(lane);
-    scheduler.CloseLane(lane, &t->pipelines, &t->tasks);
+    scheduler.CloseLane(lane, &t->usage);
+    t->driver_cpu_us = obs::ThreadCpuMicros() - cpu0;
     // A fired token means morsel loops skipped work: whatever the plan
     // returned is partial and must not be surfaced as an answer.
     if (status.ok() && t->token.cancelled()) {
@@ -207,11 +348,24 @@ struct ServiceCore {
       }
       queued_g->Set(static_cast<double>(pending.size()));
 
+      // Write any flight dumps queued by the finalizations above (or by
+      // the previous iteration's query) before running or blocking. The
+      // claimed ticket is already off the queue and reserved, so briefly
+      // dropping the lock here races with nothing.
+      if (!pending_dumps.empty()) {
+        lock.unlock();
+        FlushDumps();
+        lock.lock();
+      }
+
       if (claimed != nullptr) {
         claimed->phase = TicketPhase::kRunning;
         claimed->admit_us = obs::NowMicros();
         ++running;
         active_g->Set(running);
+        flight::FlightRecorder::Record(flight::EventKind::kQueryAdmit,
+                                       claimed->query_id, running,
+                                       claimed->admit_us - claimed->submit_us);
         lock.unlock();
         Status status = ExecuteQuery(claimed.get());
         lock.lock();
@@ -261,24 +415,29 @@ bool QueryTicket::Done() const {
 
 void QueryTicket::Cancel() {
   WIMPI_CHECK(state_ != nullptr);
-  std::lock_guard<std::mutex> lock(core_->mu);
-  if (state_->phase == TicketPhase::kDone) return;
-  state_->cancel_requested = true;
-  state_->token.Cancel();
-  if (state_->phase == TicketPhase::kQueued) {
-    // Finalize right here: a cancelled queued query must not wait for a
-    // driver to free up (all of them may be busy running long queries).
-    auto it = std::find(core_->pending.begin(), core_->pending.end(), state_);
-    if (it != core_->pending.end()) {
-      core_->pending.erase(it);
-      core_->queued_g->Set(static_cast<double>(core_->pending.size()));
-      core_->FinalizeLocked(state_,
-                            Status::Cancelled("cancelled while queued"));
-      return;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (state_->phase == TicketPhase::kDone) return;
+    state_->cancel_requested = true;
+    state_->token.Cancel();
+    bool finalized = false;
+    if (state_->phase == TicketPhase::kQueued) {
+      // Finalize right here: a cancelled queued query must not wait for a
+      // driver to free up (all of them may be busy running long queries).
+      auto it =
+          std::find(core_->pending.begin(), core_->pending.end(), state_);
+      if (it != core_->pending.end()) {
+        core_->pending.erase(it);
+        core_->queued_g->Set(static_cast<double>(core_->pending.size()));
+        core_->FinalizeLocked(state_,
+                              Status::Cancelled("cancelled while queued"));
+        finalized = true;
+      }
     }
+    // Running: the fired token aborts it at its next morsel dispatch.
+    if (!finalized) core_->work_cv.notify_all();
   }
-  // Running: the fired token aborts it at its next morsel dispatch.
-  core_->work_cv.notify_all();
+  core_->FlushDumps();
 }
 
 exec::Relation QueryTicket::TakeResult() {
@@ -293,13 +452,20 @@ exec::Relation QueryTicket::TakeResult() {
 const exec::QueryStats& QueryTicket::stats() const { return state_->stats; }
 
 int64_t QueryTicket::queue_wait_us() const {
-  return state_->admit_us > 0 ? state_->admit_us - state_->submit_us : 0;
+  // From the finalized report, so queued-but-never-admitted tickets
+  // (cancelled/rejected in queue) report their time-in-queue too.
+  return state_->report.queue_wait_us;
 }
 int64_t QueryTicket::exec_us() const {
   return state_->admit_us > 0 ? state_->finish_us - state_->admit_us : 0;
 }
 int64_t QueryTicket::pipelines() const { return state_->pipelines; }
 int64_t QueryTicket::tasks() const { return state_->tasks; }
+uint64_t QueryTicket::query_id() const { return state_->query_id; }
+
+const obs::flight::QueryResourceReport& QueryTicket::resources() const {
+  return state_->report;
+}
 
 QueryService::QueryService(ServiceOptions opts) {
   WIMPI_CHECK(opts.max_active > 0);
@@ -323,44 +489,56 @@ QueryService::~QueryService() {
   // Drivers drain the queue before exiting (the stop condition requires an
   // empty queue), so every outstanding ticket is Done after the joins.
   for (std::thread& t : drivers_) t.join();
+  core_->FlushDumps();
 }
 
 QueryTicket QueryService::Submit(QuerySpec spec) {
   ServiceCore& core = *core_;
   auto t = std::make_shared<TicketState>();
   t->spec = std::move(spec);
+  t->query_id =
+      internal::g_next_query_id.fetch_add(1, std::memory_order_relaxed);
   t->priority = t->spec.priority > 0 ? t->spec.priority
                                      : core.opts.default_priority;
   t->threads =
       t->spec.num_threads > 0 ? t->spec.num_threads : core.opts.query_threads;
   t->submit_us = obs::NowMicros();
   if (t->spec.timeout_us > 0) t->deadline_us = t->submit_us + t->spec.timeout_us;
+  internal::flight::FlightRecorder::Record(
+      internal::flight::EventKind::kQuerySubmit, t->query_id,
+      static_cast<int32_t>(t->priority * 1000), t->spec.estimated_bytes);
 
-  std::lock_guard<std::mutex> lock(core.mu);
-  core.submitted->Add(1);
-  if (!t->spec.plan) {
-    core.FinalizeLocked(t, Status::InvalidArgument("query has no plan"));
-  } else if (core.stopping) {
-    core.FinalizeLocked(t, Status::Unavailable("service shutting down"));
-  } else if (!core.admission.FitsBudget(t->spec.estimated_bytes)) {
-    // Never admissible: reject now instead of queueing forever.
-    core.FinalizeLocked(
-        t, Status::ResourceExhausted(
-               "estimated working set (" +
-               std::to_string(t->spec.estimated_bytes) +
-               " bytes) exceeds the node budget (" +
-               std::to_string(core.admission.budget_bytes()) + " bytes)"));
-  } else if (static_cast<int>(core.pending.size()) >= core.opts.max_queue) {
-    core.FinalizeLocked(
-        t, Status::ResourceExhausted(
-               "admission queue full (" +
-               std::to_string(core.opts.max_queue) + " queries)"));
-  } else {
-    t->entered_queue = true;
-    core.pending.push_back(t);
-    core.queued_g->Set(static_cast<double>(core.pending.size()));
-    core.work_cv.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(core.mu);
+    core.submitted->Add(1);
+    if (!t->spec.plan) {
+      core.FinalizeLocked(t, Status::InvalidArgument("query has no plan"));
+    } else if (core.stopping) {
+      core.FinalizeLocked(t, Status::Unavailable("service shutting down"));
+    } else if (!core.admission.FitsBudget(t->spec.estimated_bytes)) {
+      // Never admissible: reject now instead of queueing forever.
+      core.FinalizeLocked(
+          t, Status::ResourceExhausted(
+                 "estimated working set (" +
+                 std::to_string(t->spec.estimated_bytes) +
+                 " bytes) exceeds the node budget (" +
+                 std::to_string(core.admission.budget_bytes()) + " bytes)"));
+    } else if (static_cast<int>(core.pending.size()) >= core.opts.max_queue) {
+      core.FinalizeLocked(
+          t, Status::ResourceExhausted(
+                 "admission queue full (" +
+                 std::to_string(core.opts.max_queue) + " queries)"));
+    } else {
+      t->entered_queue = true;
+      core.pending.push_back(t);
+      core.queued_g->Set(static_cast<double>(core.pending.size()));
+      internal::flight::FlightRecorder::Record(
+          internal::flight::EventKind::kQueueEnter, t->query_id,
+          static_cast<int32_t>(core.pending.size()));
+      core.work_cv.notify_one();
+    }
   }
+  core.FlushDumps();
   return QueryTicket(core_, std::move(t));
 }
 

@@ -36,14 +36,38 @@
 #include "common/status.h"
 #include "exec/counters.h"
 #include "exec/relation.h"
+#include "obs/flight/resource_report.h"
 #include "service/admission.h"
 #include "service/fair_scheduler.h"
+#include "service/slo_tracker.h"
 
 namespace wimpi::parallel {
 class ThreadPool;
 }  // namespace wimpi::parallel
 
 namespace wimpi::service {
+
+// Tail-based flight-recorder triggers (ISSUE #7): when a finished query
+// matches one, its resource report goes to the process-wide slow-query
+// log and — when `dump_path` is set — the recorder's recent history is
+// retroactively dumped as a Chrome trace + JSONL.
+struct FlightTriggerOptions {
+  // Wall-time threshold marking a completed query slow. 0 falls back to
+  // the query's SLO objective (if SLOs are configured); < 0 disables
+  // latency triggers.
+  int64_t latency_threshold_us = 0;
+  // Also trigger on kDeadlineExceeded / kCancelled / kResourceExhausted.
+  bool on_error = true;
+  // Dump destination: "<path>" gets the Chrome trace, "<path>.jsonl" the
+  // raw records; later dumps append ".1", ".2", ... Empty path = log
+  // slow queries without writing dump files.
+  std::string dump_path;
+  // Cap on dump files per service (each dump rewrites the whole window).
+  int max_dumps = 4;
+  // History included before the triggering query's submit time, so the
+  // dump shows what the node was busy with while the query waited.
+  int64_t window_margin_us = 200 * 1000;
+};
 
 struct ServiceOptions {
   // Per-node memory budget the admission controller reserves against;
@@ -66,6 +90,11 @@ struct ServiceOptions {
   // Pool the fair scheduler drains into; null means the process-wide
   // TaskScheduler pool.
   parallel::ThreadPool* pool = nullptr;
+  // Per-priority-class latency objectives; tracking is off until an
+  // objective is set (slo.default_objective_us > 0 or a per-class entry).
+  SloOptions slo;
+  // Tail-based flight-recorder triggers; see FlightTriggerOptions.
+  FlightTriggerOptions flight;
 };
 
 // One query as submitted: a label, a plan closure producing the answer
@@ -119,6 +148,11 @@ class QueryTicket {
   int64_t exec_us() const;        // admission -> finish
   int64_t pipelines() const;      // parallel pipelines run
   int64_t tasks() const;          // morsel tasks run
+  // Service-wide query id (tags the query's flight-recorder events).
+  uint64_t query_id() const;
+  // Full resource accounting: wall/queue/CPU time, morsels, rows, bytes
+  // scanned, memory peak (see obs/flight/resource_report.h).
+  const obs::flight::QueryResourceReport& resources() const;
 
  private:
   friend class QueryService;

@@ -1,0 +1,76 @@
+#include "service/slo_tracker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace wimpi::service {
+
+SloTracker::SloTracker(SloOptions opts) : opts_(std::move(opts)) {}
+
+int64_t SloTracker::ObjectiveFor(double priority) const {
+  const auto it = opts_.per_class_objective_us.find(ClassOf(priority));
+  if (it != opts_.per_class_objective_us.end()) return it->second;
+  return opts_.default_objective_us;
+}
+
+SloTracker::ClassState& SloTracker::StateFor(int cls) {
+  auto [it, inserted] = classes_.emplace(cls, ClassState{});
+  if (inserted) {
+    auto& reg = obs::MetricsRegistry::Global();
+    const std::string prefix = "slo.p" + std::to_string(cls) + ".";
+    it->second.objective_g = &reg.gauge(prefix + "objective_us");
+    it->second.attainment_g = &reg.gauge(prefix + "attainment");
+    it->second.burn_g = &reg.gauge(prefix + "burn_rate");
+    it->second.total_c = &reg.counter(prefix + "total");
+    it->second.breaches_c = &reg.counter(prefix + "breaches");
+  }
+  return it->second;
+}
+
+void SloTracker::EvictLocked(ClassState& s, int64_t now_us) {
+  const int64_t horizon = now_us - opts_.window_us;
+  while (!s.window.empty() && s.window.front().first < horizon) {
+    if (s.window.front().second) --s.window_met;
+    s.window.pop_front();
+  }
+}
+
+void SloTracker::Record(double priority, bool ok, int64_t latency_us,
+                        int64_t now_us) {
+  const int64_t objective = ObjectiveFor(priority);
+  if (objective <= 0) return;
+  const bool met = ok && latency_us <= objective;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassState& s = StateFor(ClassOf(priority));
+  s.window.emplace_back(now_us, met);
+  if (met) ++s.window_met;
+  EvictLocked(s, now_us);
+
+  s.total_c->Add(1);
+  if (!met) s.breaches_c->Add(1);
+  const double n = static_cast<double>(s.window.size());
+  const double attainment =
+      n == 0 ? 1.0 : static_cast<double>(s.window_met) / n;
+  const double budget = std::max(1.0 - opts_.target, 1e-9);
+  s.objective_g->Set(static_cast<double>(objective));
+  s.attainment_g->Set(attainment);
+  s.burn_g->Set((1.0 - attainment) / budget);
+}
+
+double SloTracker::Attainment(double priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(ClassOf(priority));
+  if (it == classes_.end() || it->second.window.empty()) return 1.0;
+  return static_cast<double>(it->second.window_met) /
+         static_cast<double>(it->second.window.size());
+}
+
+double SloTracker::BurnRate(double priority) const {
+  const double budget = std::max(1.0 - opts_.target, 1e-9);
+  return (1.0 - Attainment(priority)) / budget;
+}
+
+}  // namespace wimpi::service

@@ -1,0 +1,85 @@
+#ifndef WIMPI_SERVICE_SLO_TRACKER_H_
+#define WIMPI_SERVICE_SLO_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace wimpi::obs {
+class Counter;
+class Gauge;
+}  // namespace wimpi::obs
+
+namespace wimpi::service {
+
+// Latency objectives for the query service, keyed by integer priority
+// class (a query's stride priority, truncated). A query *meets* its SLO
+// when it completes OK within the class objective; rejects, cancels,
+// timeouts and failures all count as misses — from the client's side a
+// rejected query is exactly as unserved as a slow one.
+struct SloOptions {
+  // Objective applied to priority classes without their own entry;
+  // 0 disables SLO tracking entirely.
+  int64_t default_objective_us = 0;
+  // Attainment target in (0, 1); burn rate is measured against its error
+  // budget: burn 1.0 = missing exactly (1 - target) of queries.
+  double target = 0.99;
+  // Rolling window for attainment/burn-rate.
+  int64_t window_us = 60 * 1000 * 1000;
+  // Per-priority-class overrides (key = (int)priority).
+  std::map<int, int64_t> per_class_objective_us;
+};
+
+// Rolling-window SLO attainment and burn-rate per priority class,
+// exported as gauges/counters the Prometheus exposition picks up:
+//   slo.p<class>.objective_us   objective applied to the class
+//   slo.p<class>.attainment     fraction of window queries meeting it
+//   slo.p<class>.burn_rate      (1 - attainment) / (1 - target)
+//   slo.p<class>.total          lifetime queries counted (counter)
+//   slo.p<class>.breaches       lifetime misses (counter)
+// Record() takes one short mutex hold; it is called once per query
+// completion (never per morsel), so contention is irrelevant.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions opts);
+
+  bool enabled() const { return opts_.default_objective_us > 0 ||
+                                !opts_.per_class_objective_us.empty(); }
+  int64_t ObjectiveFor(double priority) const;
+
+  // Accounts one finished query: `ok` is "completed with OK status",
+  // `latency_us` its submit->finish wall time, `now_us` the completion
+  // time on the obs::NowMicros clock.
+  void Record(double priority, bool ok, int64_t latency_us, int64_t now_us);
+
+  // Point-in-time window attainment (1.0 when the window is empty).
+  double Attainment(double priority) const;
+  double BurnRate(double priority) const;
+
+ private:
+  struct ClassState {
+    std::deque<std::pair<int64_t, bool>> window;  // (ts, met)
+    int64_t window_met = 0;
+    obs::Gauge* objective_g = nullptr;
+    obs::Gauge* attainment_g = nullptr;
+    obs::Gauge* burn_g = nullptr;
+    obs::Counter* total_c = nullptr;
+    obs::Counter* breaches_c = nullptr;
+  };
+
+  // Caller must hold mu_.
+  ClassState& StateFor(int cls);
+  void EvictLocked(ClassState& s, int64_t now_us);
+  static int ClassOf(double priority) { return static_cast<int>(priority); }
+
+  SloOptions opts_;
+  mutable std::mutex mu_;
+  std::map<int, ClassState> classes_;
+};
+
+}  // namespace wimpi::service
+
+#endif  // WIMPI_SERVICE_SLO_TRACKER_H_

@@ -357,12 +357,18 @@ TEST(EventLogTest, RingEvictsOldestAndCountsDrops) {
   elog.Clear();
   elog.set_capacity(4);
   elog.set_enabled(true);
+  const int64_t exported_before =
+      obs::MetricsRegistry::Global().counter("eventlog.dropped").Value();
   for (int i = 0; i < 10; ++i) {
     elog.Record(obs::EventLevel::kInfo, "test", "e" + std::to_string(i));
   }
   elog.set_enabled(false);
   EXPECT_EQ(elog.size(), 4u);
   EXPECT_EQ(elog.dropped(), 6);
+  // Evictions are mirrored into the registry so scrapers (and wimpi_top)
+  // can see a truncated log without polling the EventLog itself.
+  EXPECT_EQ(obs::MetricsRegistry::Global().counter("eventlog.dropped").Value(),
+            exported_before + 6);
   const auto snap = elog.Snapshot();
   ASSERT_EQ(snap.size(), 4u);
   EXPECT_EQ(snap.front().event, "e6");
@@ -446,6 +452,84 @@ TEST(Exposition, GlobalRegistryExports) {
   std::string error;
   ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &error)) << error;
   reg.ResetForTesting();
+}
+
+TEST(Exposition, HelpCommentsRoundTripWithMeta) {
+  obs::RegistrySnapshot snap;
+  snap.counters["service.submitted"] = 5;
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0};
+  h.bucket_counts = {1, 0};
+  h.count = 1;
+  h.sum = 0.5;
+  snap.histograms["service.latency_us"] = h;
+
+  const std::string text = obs::ExpositionFormat::Write(snap);
+  // HELP precedes TYPE for each family, and carries the table's text.
+  const size_t help = text.find("# HELP wimpi_service_submitted ");
+  const size_t type = text.find("# TYPE wimpi_service_submitted counter");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos) << text;
+  EXPECT_LT(help, type);
+
+  std::vector<obs::ExpositionSample> samples;
+  std::map<std::string, obs::ExpositionMeta> meta;
+  std::string error;
+  ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &meta, &error))
+      << error;
+  ASSERT_TRUE(meta.count("wimpi_service_submitted"));
+  EXPECT_EQ(meta["wimpi_service_submitted"].type, "counter");
+  EXPECT_EQ(meta["wimpi_service_submitted"].help,
+            obs::ExpositionFormat::HelpFor("service.submitted"));
+  ASSERT_TRUE(meta.count("wimpi_service_latency_us"));
+  EXPECT_EQ(meta["wimpi_service_latency_us"].type, "histogram");
+
+  // The meta-less overload sees the same samples, skipping both comment
+  // forms.
+  std::vector<obs::ExpositionSample> plain;
+  ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &plain, &error)) << error;
+  EXPECT_EQ(plain.size(), samples.size());
+}
+
+TEST(Exposition, EscapedLabelValuesParse) {
+  // Backslash, escaped quote, a '}' inside a quoted value, and a newline
+  // escape — each must survive the label scan.
+  const std::string text =
+      "m{a=\"x\\\\y\",b=\"q\\\"z\",c=\"br}ace\",d=\"li\\nne\"} 1\n";
+  std::vector<obs::ExpositionSample> samples;
+  std::string error;
+  ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &error)) << error;
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].labels.at("a"), "x\\y");
+  EXPECT_EQ(samples[0].labels.at("b"), "q\"z");
+  EXPECT_EQ(samples[0].labels.at("c"), "br}ace");
+  EXPECT_EQ(samples[0].labels.at("d"), "li\nne");
+  // And the writer-side escape produces what the parser undoes.
+  EXPECT_EQ(obs::ExpositionFormat::EscapeLabelValue("x\\y"), "x\\\\y");
+  EXPECT_EQ(obs::ExpositionFormat::EscapeLabelValue("q\"z"), "q\\\"z");
+  EXPECT_EQ(obs::ExpositionFormat::EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(Exposition, PlusInfBucketBoundParses) {
+  const std::string text = "x_bucket{le=\"+Inf\"} 7\n";
+  std::vector<obs::ExpositionSample> samples;
+  std::string error;
+  ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &error)) << error;
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].labels.at("le"), "+Inf");
+  EXPECT_EQ(samples[0].value, 7);
+}
+
+TEST(Exposition, MalformedLineKeepsEarlierSamples) {
+  const std::string text = "good 1\nbad{unterminated 2\nnever 3\n";
+  std::vector<obs::ExpositionSample> samples;
+  std::string error;
+  EXPECT_FALSE(obs::ExpositionFormat::Parse(text, &samples, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  // Samples before the malformed line survive for recovery.
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "good");
+  EXPECT_EQ(samples[0].value, 1);
 }
 
 TEST(Exposition, SanitizeName) {

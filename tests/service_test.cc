@@ -17,6 +17,8 @@
 #include "exec/exec_options.h"
 #include "exec/morsel_exec.h"
 #include "gtest/gtest.h"
+#include "obs/flight/flight_recorder.h"
+#include "obs/flight/slow_query_log.h"
 #include "obs/metrics.h"
 #include "service/admission.h"
 #include "service/fair_scheduler.h"
@@ -287,10 +289,11 @@ TEST(FairPipelineSchedulerTest, StrideAccountsPassByPriority) {
   EXPECT_DOUBLE_EQ(passes.at(lane1), 8 * service::kStrideBase);
   EXPECT_DOUBLE_EQ(passes.at(lane2), 8 * service::kStrideBase / 2.0);
 
-  int64_t pipelines = 0, tasks = 0;
-  sched.CloseLane(lane1, &pipelines, &tasks);
-  EXPECT_EQ(pipelines, 1);
-  EXPECT_EQ(tasks, 8);
+  service::LaneUsage usage;
+  sched.CloseLane(lane1, &usage);
+  EXPECT_EQ(usage.pipelines, 1);
+  EXPECT_EQ(usage.tasks, 8);
+  EXPECT_EQ(usage.rows, 8 * 64);
   sched.CloseLane(lane2);
 }
 
@@ -393,6 +396,121 @@ TEST(QueryServiceTest, ManySessionsStress) {
   EXPECT_EQ(total_sum.load(), static_cast<int64_t>(ok) * 256 * 8);
   EXPECT_EQ(svc.admission().reserved_bytes(), 0);
   EXPECT_LE(svc.admission().tracker().peak(), kBudget);
+}
+
+// Identity matrix across observability configs (ISSUE #7): the flight
+// recorder off, and the recorder on with a 1us SLO whose latency trigger
+// fires on every query, must not perturb a single bit of any answer.
+TEST(QueryServiceTest, AnswersIdenticalAcrossFlightAndSloConfigs) {
+  const engine::Database& db = TestDb();
+
+  std::vector<exec::Relation> isolated;
+  for (int q = 1; q <= 22; ++q) {
+    engine::Executor ex;
+    ex.set_num_threads(4);
+    ex.set_morsel_rows(4096);
+    isolated.push_back(
+        ex.Run([&](exec::QueryStats* s) { return tpch::RunQuery(q, db, s); }));
+  }
+
+  auto& recorder = obs::flight::FlightRecorder::Global();
+  const int64_t slow_before = obs::flight::SlowQueryLog::Global().total();
+  for (const bool flight_on : {false, true}) {
+    SCOPED_TRACE(flight_on ? "flight on + 1us SLO" : "flight off");
+    recorder.set_enabled(flight_on);
+    ServiceOptions opts;
+    opts.max_active = 3;
+    opts.query_threads = 4;
+    opts.morsel_rows = 4096;
+    if (flight_on) {
+      opts.slo.default_objective_us = 1;  // every query misses -> triggers
+      opts.flight.latency_threshold_us = 1;
+    }
+    QueryService svc(opts);
+    std::vector<QueryTicket> tickets;
+    for (int q = 1; q <= 22; ++q) {
+      tickets.push_back(svc.Submit(TpchSpec(q, db)));
+    }
+    for (int q = 1; q <= 22; ++q) {
+      SCOPED_TRACE("q" + std::to_string(q));
+      const Status status = tickets[q - 1].Wait();
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      ExpectRelationsIdentical(tickets[q - 1].TakeResult(), isolated[q - 1]);
+    }
+  }
+  recorder.set_enabled(true);  // restore the always-on default
+  // The 1us objective made every query of the second config a slow query.
+  EXPECT_GE(obs::flight::SlowQueryLog::Global().total() - slow_before, 22);
+}
+
+// Per-query resource accounting (ISSUE #7): a known morsel plan yields
+// exact pipeline/task/row counts and a consistent CPU-time breakdown.
+TEST(QueryServiceTest, ResourceReportAccountsWork) {
+  ServiceOptions opts;
+  opts.max_active = 1;
+  opts.query_threads = 2;
+  opts.morsel_rows = 256;
+  QueryService svc(opts);
+
+  QuerySpec spec;
+  spec.label = "acct";
+  const int64_t rows = 256 * 8;  // 8 morsels
+  spec.plan = [rows](exec::QueryStats*) {
+    exec::RunMorsels(rows, exec::PlannedThreads(rows),
+                     [](const parallel::Morsel&) {
+                       // Burn a little CPU so the thread clock moves.
+                       volatile double x = 0;
+                       for (int i = 0; i < 50000; ++i) x += i;
+                       (void)x;
+                     });
+    return exec::Relation();
+  };
+  QueryTicket t = svc.Submit(std::move(spec));
+  ASSERT_TRUE(t.Wait().ok());
+
+  const obs::flight::QueryResourceReport& r = t.resources();
+  EXPECT_EQ(r.query_id, t.query_id());
+  EXPECT_GT(r.query_id, 0u);
+  EXPECT_GT(r.wall_us, 0);
+  EXPECT_GE(r.wall_us, r.exec_us);
+  EXPECT_EQ(r.pipelines, 1);
+  EXPECT_EQ(r.tasks, 8);
+  EXPECT_EQ(r.rows, rows);
+  EXPECT_GT(r.cpu_us, 0);
+  EXPECT_EQ(r.cpu_us, r.driver_cpu_us + r.worker_cpu_us);
+  EXPECT_EQ(r.threads, 2);
+}
+
+// Queue-wait accounting for tickets that never run (ISSUE #7 satellite):
+// a query cancelled while queued still records its time-in-queue, both on
+// the ticket and in the service.queue_wait_us histogram.
+TEST(QueryServiceTest, QueueWaitRecordedForCancelledWhileQueued) {
+  auto& wait_h =
+      obs::MetricsRegistry::Global().histogram("service.queue_wait_us");
+  const int64_t count_before = wait_h.Count();
+
+  ServiceOptions opts;
+  opts.max_active = 1;
+  QueryService svc(opts);
+  Latch latch;
+  QueryTicket running = svc.Submit(latch.BlockingSpec());
+  latch.WaitEntered();
+
+  QuerySpec q;
+  q.plan = [](exec::QueryStats*) { return exec::Relation(); };
+  QueryTicket queued = svc.Submit(std::move(q));
+  EXPECT_FALSE(queued.Done());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queued.Cancel();
+  EXPECT_EQ(queued.Wait().code(), StatusCode::kCancelled);
+
+  // The whole queued lifetime counts as queue wait.
+  EXPECT_GT(queued.queue_wait_us(), 0);
+  EXPECT_EQ(queued.resources().queue_wait_us, queued.resources().wall_us);
+  EXPECT_GE(wait_h.Count(), count_before + 1);
+
+  latch.Open();
+  EXPECT_TRUE(running.Wait().ok());
 }
 
 // Destruction drains: queued work still completes, and submits racing the

@@ -206,6 +206,10 @@ CompareResult CompareArtifacts(const RunArtifact& base,
 
   int compared = 0;
   int skipped_measured = 0;
+  // Which series were actually gated, and how many metrics in each: the
+  // summary prints this so a shrinking comparison (wrong --only filter,
+  // series silently dropped) is visible even when nothing regressed.
+  std::map<std::string, int> compared_by_series;
   const auto selected = [&opts](const std::string& metric) {
     return opts.only.empty() || metric.find(opts.only) != std::string::npos;
   };
@@ -232,6 +236,7 @@ CompareResult CompareArtifacts(const RunArtifact& base,
         continue;
       }
       ++compared;
+      ++compared_by_series[series];
       const double diff = *cur_v - base_v;
       if (std::fabs(diff) <= opts.abs_floor) continue;
       const double denom = std::max(std::fabs(base_v), opts.abs_floor);
@@ -258,6 +263,7 @@ CompareResult CompareArtifacts(const RunArtifact& base,
       continue;
     }
     ++compared;
+    ++compared_by_series["rollups"];
     const double diff = it->second - base_v;
     if (std::fabs(diff) <= opts.abs_floor) continue;
     const double denom = std::max(std::fabs(base_v), opts.abs_floor);
@@ -278,6 +284,17 @@ CompareResult CompareArtifacts(const RunArtifact& base,
                 skipped_measured,
                 opts.wall_tol > 0 ? "gated" : "informational (no --wall-tol)");
   r.notes.push_back(buf);
+  if (compared > 0) {
+    std::string by_series = "gated series:";
+    for (const auto& [series, n] : compared_by_series) {
+      by_series += " " + series + " (" + std::to_string(n) + ")";
+    }
+    r.notes.push_back(std::move(by_series));
+  }
+  if (!opts.only.empty()) {
+    r.notes.push_back("filter --only '" + opts.only +
+                      "' restricted the comparison");
+  }
 
   for (const auto& d : r.diffs) {
     if (d.regression) {

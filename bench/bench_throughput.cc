@@ -58,52 +58,7 @@ double NowSeconds() {
       .count();
 }
 
-uint64_t FnvMix(uint64_t h, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xFF;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// Order- and bit-sensitive digest of a relation: shape, column names,
-// types, and every value (doubles by bit pattern). Two relations digest
-// equal iff ExpectRelationsIdentical would hold.
-uint64_t RelationChecksum(const wimpi::exec::Relation& r) {
-  uint64_t h = 1469598103934665603ull;
-  h = FnvMix(h, static_cast<uint64_t>(r.num_columns()));
-  h = FnvMix(h, static_cast<uint64_t>(r.num_rows()));
-  const int64_t n = r.num_rows();
-  for (int c = 0; c < r.num_columns(); ++c) {
-    for (const char ch : r.name(c)) h = FnvMix(h, static_cast<uint64_t>(ch));
-    const auto& col = r.column(c);
-    h = FnvMix(h, static_cast<uint64_t>(col.type()));
-    for (int64_t row = 0; row < n; ++row) {
-      switch (col.type()) {
-        case wimpi::storage::DataType::kInt64:
-          h = FnvMix(h, static_cast<uint64_t>(col.I64Data()[row]));
-          break;
-        case wimpi::storage::DataType::kFloat64: {
-          uint64_t bits;
-          static_assert(sizeof(bits) == sizeof(double));
-          std::memcpy(&bits, &col.F64Data()[row], sizeof(bits));
-          h = FnvMix(h, bits);
-          break;
-        }
-        case wimpi::storage::DataType::kString: {
-          const auto sv = col.StringAt(row);
-          h = FnvMix(h, sv.size());
-          for (const char ch : sv) h = FnvMix(h, static_cast<uint64_t>(ch));
-          break;
-        }
-        default:
-          h = FnvMix(h, static_cast<uint64_t>(col.I32Data()[row]));
-          break;
-      }
-    }
-  }
-  return h;
-}
+using wimpi::bench::RelationChecksum;
 
 double Percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -16,7 +17,51 @@ double NowSeconds() {
       .count();
 }
 
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
+
+uint64_t RelationChecksum(const exec::Relation& r) {
+  uint64_t h = 1469598103934665603ull;
+  h = FnvMix(h, static_cast<uint64_t>(r.num_columns()));
+  h = FnvMix(h, static_cast<uint64_t>(r.num_rows()));
+  const int64_t n = r.num_rows();
+  for (int c = 0; c < r.num_columns(); ++c) {
+    for (const char ch : r.name(c)) h = FnvMix(h, static_cast<uint64_t>(ch));
+    const auto& col = r.column(c);
+    h = FnvMix(h, static_cast<uint64_t>(col.type()));
+    for (int64_t row = 0; row < n; ++row) {
+      switch (col.type()) {
+        case storage::DataType::kInt64:
+          h = FnvMix(h, static_cast<uint64_t>(col.I64Data()[row]));
+          break;
+        case storage::DataType::kFloat64: {
+          uint64_t bits;
+          static_assert(sizeof(bits) == sizeof(double));
+          std::memcpy(&bits, &col.F64Data()[row], sizeof(bits));
+          h = FnvMix(h, bits);
+          break;
+        }
+        case storage::DataType::kString: {
+          const auto sv = col.StringAt(row);
+          h = FnvMix(h, sv.size());
+          for (const char ch : sv) h = FnvMix(h, static_cast<uint64_t>(ch));
+          break;
+        }
+        default:
+          h = FnvMix(h, static_cast<uint64_t>(col.I32Data()[row]));
+          break;
+      }
+    }
+  }
+  return h;
+}
 
 engine::Database LoadDb(double physical_sf, uint64_t seed) {
   std::fprintf(stderr, "[bench] generating TPC-H at physical SF %.3g ...\n",

@@ -8,10 +8,18 @@
 #include "artifact.h"
 #include "engine/database.h"
 #include "exec/counters.h"
+#include "exec/relation.h"
 #include "hw/cost_model.h"
 #include "hw/profile.h"
 
 namespace wimpi::bench {
+
+// Order- and bit-sensitive digest of a relation: shape, column names,
+// types, and every value (doubles by bit pattern). Two relations digest
+// equal iff the tests' ExpectRelationsIdentical would hold. Used by the
+// benches that enforce bit-identical answers across execution modes
+// (concurrent service, stats collection on/off).
+uint64_t RelationChecksum(const exec::Relation& r);
 
 // Generates a TPC-H database at `physical_sf`, logging progress to stderr.
 engine::Database LoadDb(double physical_sf, uint64_t seed = 19921201);

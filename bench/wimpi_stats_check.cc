@@ -1,0 +1,167 @@
+// wimpi_stats_check: CI validator for the plan-quality artifact written by
+// bench_stats_qerror --json. Two layers of checks:
+//
+//   1. Structural invariants that must hold for ANY valid run — the
+//      cardinality series covers all 22 queries, every query estimated at
+//      least one operator, Q-errors are >= 1 with geomean <= max, the
+//      answer-mismatch count is zero, and every sketch NDV relative error
+//      is under the --max-ndv-err bound (tentpole target: < 3% at the
+//      default 2^14-register HLL; the default bound leaves headroom).
+//   2. Optional regression gate: with --baseline, the artifact is compared
+//      against the committed baseline via CompareArtifacts — the series
+//      are fully deterministic, so the default tolerance applies.
+//
+//   ./bench/wimpi_stats_check artifact.json [--baseline BENCH_stats.json]
+//       [--max-ndv-err 0.05] [--max-qerror 0] [--rel-tol 0.02]
+//
+// --max-qerror > 0 additionally caps every per-query qerror.max (off by
+// default: absolute Q-error depends on query shape, the baseline gate is
+// the primary drift detector).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "artifact.h"
+#include "common/cli.h"
+
+namespace {
+
+struct Checker {
+  int failures = 0;
+
+  void Fail(const std::string& msg) {
+    std::fprintf(stderr, "FAIL: %s\n", msg.c_str());
+    ++failures;
+  }
+  void Check(bool ok, const std::string& msg) {
+    if (!ok) Fail(msg);
+  }
+};
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  const std::string baseline_path = cli.GetString("baseline", "");
+  const double max_ndv_err = cli.GetDouble("max-ndv-err", 0.05);
+  const double max_qerror = cli.GetDouble("max-qerror", 0);
+  const double rel_tol = cli.GetDouble("rel-tol", 0.02);
+
+  const std::string artifact_path =
+      cli.positional().empty() ? "" : cli.positional().front();
+  if (artifact_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: wimpi_stats_check <artifact.json> "
+                 "[--baseline base.json] [--max-ndv-err 0.05] "
+                 "[--max-qerror 0] [--rel-tol 0.02]\n");
+    return 2;
+  }
+
+  wimpi::bench::RunArtifact artifact;
+  std::string error;
+  if (!wimpi::bench::ReadArtifact(artifact_path, &artifact, &error)) {
+    std::fprintf(stderr, "FAIL: cannot read %s: %s\n", artifact_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  Checker c;
+  c.Check(artifact.bench == "stats_qerror",
+          "artifact bench is '" + artifact.bench + "', want 'stats_qerror'");
+
+  // ---- cardinality series ----
+  const auto card_it = artifact.rows.find("cardinality");
+  if (card_it == artifact.rows.end()) {
+    c.Fail("artifact has no 'cardinality' series");
+  } else {
+    const auto& card = card_it->second;
+    auto get = [&](const std::string& metric, double* out) {
+      const auto it = card.find(metric);
+      if (it == card.end()) return false;
+      *out = it->second;
+      return true;
+    };
+    double mismatches = -1;
+    c.Check(get("answer_mismatches", &mismatches) && mismatches == 0,
+            "cardinality.answer_mismatches must be present and 0 (got " +
+                Num(mismatches) + ")");
+    for (int q = 1; q <= 22; ++q) {
+      const std::string p = "Q" + std::to_string(q);
+      double maxq = 0, geo = 0, est = 0, rec = 0;
+      if (!get(p + ".qerror.max", &maxq) || !get(p + ".qerror.geomean", &geo) ||
+          !get(p + ".ops.estimated", &est) || !get(p + ".ops.recorded", &rec)) {
+        c.Fail("cardinality series is missing metrics for " + p);
+        continue;
+      }
+      c.Check(est >= 1, p + ": no operators were estimated");
+      c.Check(rec >= est,
+              p + ": recorded ops (" + Num(rec) + ") < estimated (" +
+                  Num(est) + ")");
+      c.Check(maxq >= 1 && std::isfinite(maxq),
+              p + ": qerror.max " + Num(maxq) + " is not a finite value >= 1");
+      c.Check(geo >= 1 && geo <= maxq + 1e-9,
+              p + ": qerror.geomean " + Num(geo) +
+                  " outside [1, max=" + Num(maxq) + "]");
+      if (max_qerror > 0) {
+        c.Check(maxq <= max_qerror, p + ": qerror.max " + Num(maxq) +
+                                        " exceeds --max-qerror " +
+                                        Num(max_qerror));
+      }
+    }
+  }
+
+  // ---- sketch series ----
+  const auto sketch_it = artifact.rows.find("sketch");
+  if (sketch_it == artifact.rows.end()) {
+    c.Fail("artifact has no 'sketch' series");
+  } else {
+    int ndv_metrics = 0;
+    for (const auto& [metric, value] : sketch_it->second) {
+      if (metric.find("ndv_rel_err") != std::string::npos) {
+        ++ndv_metrics;
+        c.Check(value <= max_ndv_err,
+                "sketch." + metric + " = " + Num(value) +
+                    " exceeds --max-ndv-err " + Num(max_ndv_err));
+      }
+      if (metric.find("quantile_rank_err") != std::string::npos) {
+        // One equi-depth bucket of 64 holds ~1.6% of the mass; allow a few
+        // buckets of slack for sampled builds and duplicate-heavy columns.
+        c.Check(value <= 0.08, "sketch." + metric + " = " + Num(value) +
+                                   " exceeds rank-error bound 0.08");
+      }
+    }
+    c.Check(ndv_metrics > 0, "sketch series has no ndv_rel_err metrics");
+  }
+
+  // ---- baseline regression gate ----
+  if (!baseline_path.empty()) {
+    wimpi::bench::RunArtifact base;
+    if (!wimpi::bench::ReadArtifact(baseline_path, &base, &error)) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s: %s\n",
+                   baseline_path.c_str(), error.c_str());
+      return 1;
+    }
+    wimpi::bench::CompareOptions copts;
+    copts.rel_tol = rel_tol;
+    const wimpi::bench::CompareResult cmp =
+        wimpi::bench::CompareArtifacts(base, artifact, copts);
+    std::printf("%s", cmp.Format().c_str());
+    if (!cmp.ok) c.Fail("artifact regressed against " + baseline_path);
+  }
+
+  if (c.failures > 0) {
+    std::fprintf(stderr, "wimpi_stats_check: %d check(s) failed\n",
+                 c.failures);
+    return 1;
+  }
+  std::printf("wimpi_stats_check: %s OK%s\n", artifact_path.c_str(),
+              baseline_path.empty() ? "" : " (baseline gate passed)");
+  return 0;
+}

@@ -15,10 +15,17 @@
 // abstract work counters. Degrades to "counters unavailable" where the PMU
 // is hidden (containers, VMs, perf_event_paranoid).
 //
+// With --stats, column statistics are collected for every table up front
+// (stats::StatsRegistry) and installed as the cardinality estimator: each
+// query then prints a cardinality-residual report — per-operator-class
+// Q-error (max(est/act, act/est)) with the worst offender per class —
+// next to the cost-model and counter residuals. Answers are bit-identical
+// with or without --stats.
+//
 //   ./examples/wimpi_profile [--sf 0.1] [--q 1,6] [--threads 4]
 //                            [--trace trace.json] [--json profile.json]
 //                            [--metrics] [--metrics-prom metrics.prom]
-//                            [--perf]
+//                            [--perf] [--stats]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,6 +40,7 @@
 #include "obs/profiler.h"
 #include "obs/residual.h"
 #include "obs/trace.h"
+#include "stats/registry.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -81,6 +89,7 @@ int main(int argc, char** argv) {
                             !prom_path.empty();
   const bool residuals = cli.GetBool("residual", true);
   const bool perf = cli.GetBool("perf", false);
+  const bool stats_on = cli.GetBool("stats", false);
   const std::vector<int> queries = ParseQueries(cli.GetString("q", "1,6"));
 
   // Fail on unwritable output paths before generating data and running
@@ -102,6 +111,14 @@ int main(int argc, char** argv) {
 
   wimpi::engine::Executor ex;
   ex.set_num_threads(threads);
+
+  wimpi::stats::StatsRegistry registry;
+  if (stats_on) {
+    registry.CollectDatabase(db);
+    ex.set_cardinality_estimator(&registry);
+    std::printf("collected column statistics for %zu tables\n",
+                db.tables().size());
+  }
 
   wimpi::obs::ProfileOptions popts;
   popts.trace = !trace_path.empty();
@@ -142,11 +159,22 @@ int main(int argc, char** argv) {
       std::printf("%s",
                   wimpi::obs::CounterResiduals(profile).Format().c_str());
     }
+    if (stats_on) {
+      const wimpi::obs::CardinalityReport card =
+          wimpi::obs::CardinalityResiduals(profile);
+      std::printf("%s", card.Format().c_str());
+      wimpi::obs::RecordCardinalityMetrics(card);
+    }
   }
 
   if (pool_metrics) {
     std::printf("\n--- pool metrics ---\n%s",
                 wimpi::obs::MetricsRegistry::Global().FormatText().c_str());
+  }
+  if (prom_stdout || !prom_path.empty()) {
+    // Host fingerprint so expositions from different machines are
+    // distinguishable after scraping.
+    wimpi::hw::PublishHostInfo();
   }
   if (prom_stdout) {
     std::printf("\n--- prometheus exposition ---\n%s",

@@ -17,7 +17,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 cmake --build "${build_dir}" \
   --target parallel_test parallel_queries_test obs_test obs_queries_test \
            obs_perf_test obs_export_test memory_tracker_test fault_test \
-           service_test flight_test -j
+           service_test flight_test stats_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -49,5 +49,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # drivers while triggers snapshot them, plus the SLO tracker and
 # slow-query log under the service's concurrent finalize path.
 "${build_dir}/tests/flight_test"
+# Column statistics: the morsel-parallel BuildTableStats shard merge, and
+# the registry's shared_mutex paths (concurrent Collect + estimation).
+"${build_dir}/tests/stats_test"
 
 echo "TSan parallel + obs test pass: OK"

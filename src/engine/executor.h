@@ -40,6 +40,16 @@ class Executor {
   const exec::ExecOptions& options() const { return opts_; }
   void set_num_threads(int n) { opts_.num_threads = n; }
   void set_morsel_rows(int64_t rows) { opts_.morsel_rows = rows; }
+  // Installs a cardinality estimator (typically a stats::StatsRegistry) so
+  // operators record predicted output rows in OpStats.est_rows next to the
+  // actuals. Observational only: answers are bit-identical either way. The
+  // estimator must outlive every plan run under these options.
+  void set_cardinality_estimator(const exec::CardinalityEstimator* est) {
+    opts_.cardinality_estimator = est;
+  }
+  // Allows a registry with EnableAutoCollect to build missing table stats
+  // lazily from a stride sample on first use (see ExecOptions).
+  void set_collect_scan_stats(bool on) { opts_.collect_scan_stats = on; }
 
   // Runs `plan` (any callable taking QueryStats* — typically returning a
   // Relation) with this executor's options installed, restoring the

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/estimator.h"
 #include "exec/morsel_exec.h"
 #include "exec/relation_ops.h"
 #include "obs/profiler.h"
@@ -429,6 +430,12 @@ Relation HashAggregate(const ColumnSource& src,
     op.rand_struct_bytes = table_bytes;
     op.output_bytes =
         static_cast<double>(n_groups) * (key_width + state_width);
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = static_cast<double>(n_groups);
+    if (const CardinalityEstimator* est =
+            CurrentExecOptions().cardinality_estimator) {
+      op.est_rows = est->EstimateGroupRows(src, group_by, n);
+    }
     stats->Add(std::move(op));
     stats->TrackAlloc(table_bytes);
   }
@@ -459,6 +466,9 @@ double SumF64(const Column& col, QueryStats* stats) {
     op.op = "sum_f64";
     op.compute_ops = static_cast<double>(n) * cost::kArith;
     op.seq_bytes = static_cast<double>(n) * 8;
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = 1;
+    if (CurrentExecOptions().cardinality_estimator != nullptr) op.est_rows = 1;
     stats->Add(std::move(op));
   }
   return sum;
@@ -496,6 +506,9 @@ double MaxF64(const Column& col, QueryStats* stats) {
     op.op = "max_f64";
     op.compute_ops = static_cast<double>(n) * cost::kCompare;
     op.seq_bytes = static_cast<double>(n) * 8;
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = 1;
+    if (CurrentExecOptions().cardinality_estimator != nullptr) op.est_rows = 1;
     stats->Add(std::move(op));
   }
   return m;

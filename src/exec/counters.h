@@ -35,6 +35,17 @@ struct OpStats {
   // Fraction of this operator's work that can use all cores (morsel
   // parallelism). Single-threaded phases (e.g. final merges) use 0.
   double parallel_fraction = 1.0;
+  // Cardinality capture (plan-quality observability, DESIGN.md §13).
+  // rows_in/rows_out are the actual input and output rows of this
+  // invocation; est_rows is what the ambient exec::CardinalityEstimator
+  // predicted the output to be *before* the operator ran. -1 means "not
+  // recorded"; est_rows additionally stays -1 whenever no estimator is
+  // installed (ExecOptions.cardinality_estimator == nullptr, the default).
+  // Estimates never influence execution — they exist only so
+  // obs::CardinalityResiduals can report Q-error.
+  double rows_in = -1;
+  double rows_out = -1;
+  double est_rows = -1;
 };
 
 // Accumulated statistics for one query execution.
@@ -102,6 +113,12 @@ struct QueryStats {
       s.rand_count *= f;
       s.rand_struct_bytes *= f;
       s.output_bytes *= f;
+      // Cardinalities scale with the data; -1 ("not recorded") is sticky.
+      // Scaling est and actual together keeps Q-error invariant under SF
+      // projection.
+      if (s.rows_in >= 0) s.rows_in *= f;
+      if (s.rows_out >= 0) s.rows_out *= f;
+      if (s.est_rows >= 0) s.est_rows *= f;
     }
     peak_intermediate_bytes *= f;
     for (auto& [_, b] : base_columns) b *= f;

@@ -1,0 +1,61 @@
+#ifndef WIMPI_EXEC_ESTIMATOR_H_
+#define WIMPI_EXEC_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/filter.h"
+#include "exec/join.h"
+
+namespace wimpi::exec {
+
+// Predicts operator output cardinalities for plan-quality observability
+// (DESIGN.md §13). Installed via ExecOptions.cardinality_estimator; the
+// operator library calls it on the driving thread right before running an
+// operator and stores the prediction in OpStats.est_rows next to the
+// measured rows_in/rows_out, so obs::CardinalityResiduals can report
+// Q-error per operator class. The concrete implementation lives above the
+// operator layer (stats::StatsRegistry, backed by per-column sketches);
+// this interface keeps src/exec free of a dependency on src/stats.
+//
+// Contract for every method: return the estimated number of OUTPUT rows,
+// or a negative value when no estimate is possible (unknown column, no
+// statistics); implementations must be const-thread-safe and must not
+// mutate anything observable by execution — estimates never change
+// answers.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  // Rows surviving one filter conjunct applied to `rows_in` input rows of
+  // `src` (rows_in can be smaller than src.rows() when refining a prior
+  // selection; conjuncts are estimated independently).
+  virtual double EstimateFilterRows(const ColumnSource& src,
+                                    const Predicate& pred,
+                                    int64_t rows_in) const = 0;
+
+  // Rows surviving a column-vs-column comparison filter.
+  virtual double EstimateColCmpRows(const ColumnSource& src,
+                                    const std::string& a, CmpOp op,
+                                    const std::string& b,
+                                    int64_t rows_in) const = 0;
+
+  // Output rows of a hash join. Key columns identify their base-table
+  // statistics through storage::Column::origin() (stamped at stats
+  // collection time and propagated through gathers).
+  virtual double EstimateJoinRows(
+      const std::vector<const storage::Column*>& build_keys,
+      int64_t build_rows,
+      const std::vector<const storage::Column*>& probe_keys,
+      int64_t probe_rows, JoinKind kind) const = 0;
+
+  // Distinct groups produced by a hash aggregation over `group_by`.
+  virtual double EstimateGroupRows(const ColumnSource& src,
+                                   const std::vector<std::string>& group_by,
+                                   int64_t rows_in) const = 0;
+};
+
+}  // namespace wimpi::exec
+
+#endif  // WIMPI_EXEC_ESTIMATOR_H_

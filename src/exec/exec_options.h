@@ -10,6 +10,8 @@ class PipelineScheduler;
 
 namespace wimpi::exec {
 
+class CardinalityEstimator;
+
 // Engine-wide execution knobs. The default (one thread) preserves the
 // seed behaviour bit-for-bit: every operator takes its original sequential
 // path and no thread pool is ever touched, so existing tests and benches
@@ -35,6 +37,19 @@ struct ExecOptions {
   // from many concurrent queries interleave over the shared pool. Morsel
   // boundaries (and therefore answers) are scheduler-independent.
   parallel::PipelineScheduler* pipeline_scheduler = nullptr;
+  // Plan-quality observability (DESIGN.md §13). When non-null, operators
+  // that record OpStats also ask this estimator for a predicted output
+  // cardinality and store it in OpStats.est_rows next to the actuals.
+  // Estimates are consulted on the driving thread only and never alter
+  // execution: answers are bit-identical with or without an estimator.
+  // Null (the default) keeps est_rows at -1 everywhere.
+  const CardinalityEstimator* cardinality_estimator = nullptr;
+  // Lets an installed estimator that supports it (stats::StatsRegistry
+  // with EnableAutoCollect) build missing table statistics lazily from a
+  // deterministic stride sample the first time a scan asks for an estimate
+  // on an un-collected table. Off (the default): unknown tables simply
+  // yield no estimate.
+  bool collect_scan_stats = false;
 };
 
 // Ambient options consulted by the operator library on the thread that

@@ -27,6 +27,16 @@ void FillRows(std::vector<T>& out_vec, int64_t n, F f) {
   });
 }
 
+// Cardinality capture for element-wise maps: one output row per input
+// row, so the estimate (when an estimator is armed) is exact.
+void TagMapRows(OpStats& op, int64_t n) {
+  op.rows_in = static_cast<double>(n);
+  op.rows_out = static_cast<double>(n);
+  if (CurrentExecOptions().cardinality_estimator != nullptr) {
+    op.est_rows = static_cast<double>(n);
+  }
+}
+
 void RecordUnary(const char* name, int64_t n, int in_width, int out_width,
                  QueryStats* stats) {
   if (stats == nullptr) return;
@@ -35,6 +45,7 @@ void RecordUnary(const char* name, int64_t n, int in_width, int out_width,
   op.compute_ops = static_cast<double>(n) * cost::kArith;
   op.seq_bytes = static_cast<double>(n) * (in_width + out_width);
   op.output_bytes = static_cast<double>(n) * out_width;
+  TagMapRows(op, n);
   stats->Add(std::move(op));
   stats->TrackAlloc(static_cast<double>(n) * out_width);
 }
@@ -46,6 +57,7 @@ void RecordBinary(const char* name, int64_t n, QueryStats* stats) {
   op.compute_ops = static_cast<double>(n) * cost::kArith;
   op.seq_bytes = static_cast<double>(n) * 24;  // two inputs + one output
   op.output_bytes = static_cast<double>(n) * 8;
+  TagMapRows(op, n);
   stats->Add(std::move(op));
   stats->TrackAlloc(static_cast<double>(n) * 8);
 }
@@ -135,6 +147,7 @@ std::unique_ptr<Column> ExtractYear(const Column& dates, QueryStats* stats) {
     op.compute_ops = static_cast<double>(n) * cost::kArith * 4;
     op.seq_bytes = static_cast<double>(n) * 8;
     op.output_bytes = static_cast<double>(n) * 4;
+    TagMapRows(op, n);
     stats->Add(std::move(op));
     stats->TrackAlloc(static_cast<double>(n) * 4);
   }
@@ -165,6 +178,7 @@ std::vector<uint8_t> StrMatchMask(
                      static_cast<double>(n) * cost::kCompare;
     op.seq_bytes = dict_bytes + static_cast<double>(n) * 5;
     op.output_bytes = static_cast<double>(n);
+    TagMapRows(op, n);
     stats->Add(std::move(op));
   }
   return mask;
@@ -185,6 +199,7 @@ std::vector<uint8_t> I32EqMask(const Column& col, int32_t value,
     op.compute_ops = static_cast<double>(n) * cost::kCompare;
     op.seq_bytes = static_cast<double>(n) * 5;
     op.output_bytes = static_cast<double>(n);
+    TagMapRows(op, n);
     stats->Add(std::move(op));
   }
   return mask;

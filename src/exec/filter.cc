@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "exec/estimator.h"
 #include "exec/morsel_exec.h"
 #include "obs/profiler.h"
 
@@ -64,19 +65,26 @@ Predicate Predicate::InI32(std::string col, std::vector<int32_t> values) {
 }
 
 Predicate Predicate::StrEq(std::string col, std::string value) {
-  return StrTest(
+  Predicate p = StrTest(
       std::move(col),
       [v = std::move(value)](std::string_view s) { return s == v; }, 2.0);
+  p.str_hint_ = StrHint::kEq;
+  p.str_hint_count_ = 1;
+  return p;
 }
 
 Predicate Predicate::StrNe(std::string col, std::string value) {
-  return StrTest(
+  Predicate p = StrTest(
       std::move(col),
       [v = std::move(value)](std::string_view s) { return s != v; }, 2.0);
+  p.str_hint_ = StrHint::kNe;
+  p.str_hint_count_ = 1;
+  return p;
 }
 
 Predicate Predicate::StrIn(std::string col, std::vector<std::string> values) {
-  return StrTest(
+  const int count = static_cast<int>(values.size());
+  Predicate p = StrTest(
       std::move(col),
       [vs = std::move(values)](std::string_view s) {
         for (const auto& v : vs) {
@@ -85,28 +93,35 @@ Predicate Predicate::StrIn(std::string col, std::vector<std::string> values) {
         return false;
       },
       4.0);
+  p.str_hint_ = StrHint::kIn;
+  p.str_hint_count_ = count;
+  return p;
 }
 
 Predicate Predicate::Like(std::string col, std::string pattern) {
   // Pattern matching costs grow with pattern complexity (MonetDB falls back
   // to PCRE for multi-wildcard patterns).
   const double cost = 4.0 + 2.0 * cost::kLikePerChar * pattern.size();
-  return StrTest(
+  Predicate p = StrTest(
       std::move(col),
       [pat = std::move(pattern)](std::string_view s) {
         return LikeMatch(s, pat);
       },
       cost);
+  p.str_hint_ = StrHint::kLike;
+  return p;
 }
 
 Predicate Predicate::NotLike(std::string col, std::string pattern) {
   const double cost = 4.0 + 2.0 * cost::kLikePerChar * pattern.size();
-  return StrTest(
+  Predicate p = StrTest(
       std::move(col),
       [pat = std::move(pattern)](std::string_view s) {
         return !LikeMatch(s, pat);
       },
       cost);
+  p.str_hint_ = StrHint::kNotLike;
+  return p;
 }
 
 Predicate Predicate::StrTest(std::string col,
@@ -117,6 +132,7 @@ Predicate Predicate::StrTest(std::string col,
   p.col_ = std::move(col);
   p.str_test_ = std::move(test);
   p.str_cost_ = cost_per_value;
+  p.str_hint_ = StrHint::kGeneric;
   return p;
 }
 
@@ -158,6 +174,14 @@ class FilterRunner {
 
     OpStats op;
     op.op = "filter(" + p.col_ + ")";
+    const size_t out_before = out->size();
+    op.rows_in = static_cast<double>(n);
+    // Predicted before running; the estimate is observational only, so the
+    // filter below is byte-for-byte the seed path either way.
+    if (const CardinalityEstimator* est =
+            CurrentExecOptions().cardinality_estimator) {
+      op.est_rows = est->EstimateFilterRows(src, p, n);
+    }
     // Candidate-list passes read scattered positions, but at cache-line
     // granularity even moderate selectivity touches most of the column:
     // traffic = rows * width * (1 - (1 - s)^(values per 64B line)).
@@ -279,6 +303,7 @@ class FilterRunner {
 
     op.output_bytes = static_cast<double>(out->size()) * sizeof(int32_t);
     op.seq_bytes += op.output_bytes;
+    op.rows_out = static_cast<double>(out->size() - out_before);
     if (stats != nullptr) stats->Add(std::move(op));
   }
 };
@@ -388,6 +413,12 @@ SelVec FilterColCmpCol(const ColumnSource& src, const std::string& a,
     op_stats.seq_bytes = static_cast<double>(n) * 8 +
                          static_cast<double>(out.size()) * sizeof(int32_t);
     op_stats.output_bytes = static_cast<double>(out.size()) * sizeof(int32_t);
+    op_stats.rows_in = static_cast<double>(n);
+    op_stats.rows_out = static_cast<double>(out.size());
+    if (const CardinalityEstimator* est =
+            CurrentExecOptions().cardinality_estimator) {
+      op_stats.est_rows = est->EstimateColCmpRows(src, a, op, b, n);
+    }
     stats->Add(std::move(op_stats));
   }
   scope.set_rows_out(static_cast<int64_t>(out.size()));
@@ -410,6 +441,8 @@ SelVec UnionSel(const std::vector<const SelVec*>& sels, QueryStats* stats) {
                      (total > 1 ? std::max(1.0, std::log2(double(total))) : 1);
     op.seq_bytes = static_cast<double>(total + out.size()) * sizeof(int32_t);
     op.output_bytes = static_cast<double>(out.size()) * sizeof(int32_t);
+    op.rows_in = static_cast<double>(total);
+    op.rows_out = static_cast<double>(out.size());
     stats->Add(std::move(op));
   }
   scope.set_rows_out(static_cast<int64_t>(out.size()));
@@ -422,6 +455,9 @@ std::unique_ptr<storage::Column> Gather(const storage::Column& src,
   auto out = src.dict() != nullptr
                  ? std::make_unique<storage::Column>(src.type(), src.dict())
                  : std::make_unique<storage::Column>(src.type());
+  // A gathered column holds a subset of the source's values, so it keeps
+  // the source's statistics identity (DESIGN.md §13).
+  out->set_origin(src.origin());
   const int64_t n = static_cast<int64_t>(sel.size());
   obs::OpScope scope("Gather", n);
   scope.set_rows_out(n);
@@ -469,6 +505,11 @@ std::unique_ptr<storage::Column> Gather(const storage::Column& src,
     op.seq_bytes = static_cast<double>(n) * (sizeof(int32_t) + width) +
                    src_touched;
     op.output_bytes = static_cast<double>(n) * width;
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = static_cast<double>(n);
+    if (CurrentExecOptions().cardinality_estimator != nullptr) {
+      op.est_rows = static_cast<double>(n);  // cardinality-preserving
+    }
     stats->Add(std::move(op));
     stats->TrackAlloc(static_cast<double>(n) * width);
   }
@@ -501,6 +542,9 @@ std::unique_ptr<storage::Column> GatherWithDefault(
     const storage::Column& src, const std::vector<int32_t>& idx, double def,
     QueryStats* stats) {
   auto out = std::make_unique<storage::Column>(src.type());
+  // Outer-join fill adds at most one value (`def`) outside the source's
+  // domain; close enough for estimation to keep the origin.
+  out->set_origin(src.origin());
   const int64_t n = static_cast<int64_t>(idx.size());
   obs::OpScope scope("GatherWithDefault", n);
   scope.set_rows_out(n);
@@ -539,6 +583,11 @@ std::unique_ptr<storage::Column> GatherWithDefault(
     op.compute_ops = static_cast<double>(n) * cost::kGather;
     op.seq_bytes = static_cast<double>(n) * (sizeof(int32_t) + 2 * width);
     op.output_bytes = static_cast<double>(n) * width;
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = static_cast<double>(n);
+    if (CurrentExecOptions().cardinality_estimator != nullptr) {
+      op.est_rows = static_cast<double>(n);  // cardinality-preserving
+    }
     stats->Add(std::move(op));
     stats->TrackAlloc(static_cast<double>(n) * width);
   }

@@ -31,6 +31,20 @@ class Predicate {
     kStrPred,  // arbitrary per-dictionary-value test
   };
 
+  // Shape hint for kStrPred conjuncts. The dictionary test itself is an
+  // opaque lambda; the factory that built it records what it means so a
+  // cardinality estimator can pick a selectivity formula (eq -> 1/NDV,
+  // in -> k/NDV, like/generic -> defaults). Purely observational.
+  enum class StrHint {
+    kNone,     // not a string predicate
+    kEq,
+    kNe,
+    kIn,       // str_hint_count() values
+    kLike,
+    kNotLike,
+    kGeneric,  // arbitrary StrTest
+  };
+
   static Predicate CmpI32(std::string col, CmpOp op, int32_t v);
   static Predicate CmpDate(std::string col, CmpOp op, int32_t days) {
     return CmpI32(std::move(col), op, days);
@@ -60,6 +74,19 @@ class Predicate {
   Kind kind() const { return kind_; }
   const std::string& column_name() const { return col_; }
 
+  // Read-only views for cardinality estimation (stats::StatsRegistry).
+  // Which fields are meaningful depends on kind(): cmp kinds use op() and
+  // the lo value; between kinds use [lo, hi]; kInI32 uses in_values();
+  // kStrPred uses str_hint()/str_hint_count().
+  CmpOp op() const { return op_; }
+  int64_t i64_lo() const { return i64_; }
+  int64_t i64_hi() const { return i64_hi_; }
+  double f64_lo() const { return f64_; }
+  double f64_hi() const { return f64_hi_; }
+  const std::vector<int32_t>& in_values() const { return in_values_; }
+  StrHint str_hint() const { return str_hint_; }
+  int str_hint_count() const { return str_hint_count_; }
+
  private:
   friend class FilterRunner;
   Predicate() = default;
@@ -74,6 +101,8 @@ class Predicate {
   std::vector<int32_t> in_values_;
   std::function<bool(std::string_view)> str_test_;
   double str_cost_ = 1.0;
+  StrHint str_hint_ = StrHint::kNone;
+  int str_hint_count_ = 0;
 };
 
 // A source of named columns: either a base table or an intermediate

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/estimator.h"
 #include "exec/morsel_exec.h"
 #include "obs/profiler.h"
 
@@ -136,6 +137,13 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
       op.seq_bytes = static_cast<double>(n_build) * bkw;
       op.rand_count = static_cast<double>(n_build);
       op.rand_struct_bytes = table_bytes;
+      // The build inserts every input row; its cardinality is exact by
+      // construction.
+      op.rows_in = static_cast<double>(n_build);
+      op.rows_out = static_cast<double>(n_build);
+      if (CurrentExecOptions().cardinality_estimator != nullptr) {
+        op.est_rows = static_cast<double>(n_build);
+      }
       stats->Add(std::move(op));
       stats->TrackAlloc(table_bytes);
     }
@@ -230,6 +238,13 @@ JoinResult HashJoin(const std::vector<const Column*>& build_keys,
           sizeof(int32_t);
       op.output_bytes = out_bytes;
       op.seq_bytes += out_bytes;
+      op.rows_in = static_cast<double>(n_probe);
+      op.rows_out = static_cast<double>(result.probe_idx.size());
+      if (const CardinalityEstimator* est =
+              CurrentExecOptions().cardinality_estimator) {
+        op.est_rows = est->EstimateJoinRows(build_keys, n_build, probe_keys,
+                                            n_probe, kind);
+      }
       stats->Add(std::move(op));
       stats->TrackAlloc(out_bytes);
       stats->TrackFree(table_bytes);

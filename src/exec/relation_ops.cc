@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/exec_options.h"
 #include "obs/profiler.h"
 #include "storage/column.h"
 
@@ -24,6 +25,13 @@ Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats) {
                    ? std::make_unique<storage::Column>(proto.type(),
                                                        proto.dict())
                    : std::make_unique<storage::Column>(proto.type());
+    // Concatenated partials keep their statistics identity when every part
+    // agrees on where the values came from (DESIGN.md §13).
+    uint32_t origin = proto.origin();
+    for (const Relation& part : parts) {
+      if (part.column(c).origin() != origin) origin = 0;
+    }
+    col->set_origin(origin);
     for (const Relation& part : parts) {
       const auto& src = part.column(c);
       WIMPI_CHECK(src.type() == proto.type());
@@ -55,6 +63,11 @@ Relation ConcatRelations(std::vector<Relation> parts, QueryStats* stats) {
     op.output_bytes = bytes;
     op.compute_ops = bytes / 8;
     op.parallel_fraction = 0.0;  // coordinator-side, single stream
+    op.rows_in = static_cast<double>(rows_in);
+    op.rows_out = static_cast<double>(rows_in);
+    if (CurrentExecOptions().cardinality_estimator != nullptr) {
+      op.est_rows = static_cast<double>(rows_in);  // pure concatenation
+    }
     stats->Add(std::move(op));
     stats->TrackAlloc(bytes);
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/exec_options.h"
 #include "obs/profiler.h"
 
 namespace wimpi::exec {
@@ -75,6 +76,13 @@ SelVec SortPerm(const ColumnSource& src, const std::vector<SortKey>& keys,
     op.output_bytes = static_cast<double>(perm.size()) * sizeof(int32_t);
     // Sorting has limited morsel parallelism (merge phases serialize).
     op.parallel_fraction = 0.7;
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = static_cast<double>(perm.size());
+    if (CurrentExecOptions().cardinality_estimator != nullptr) {
+      // A sort is cardinality-preserving up to its LIMIT.
+      op.est_rows = static_cast<double>(
+          limit >= 0 ? std::min<int64_t>(limit, n) : n);
+    }
     stats->Add(std::move(op));
   }
   scope.set_rows_out(static_cast<int64_t>(perm.size()));

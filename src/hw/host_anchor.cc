@@ -1,9 +1,41 @@
 #include "hw/host_anchor.h"
 
 #include <algorithm>
+#include <fstream>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace wimpi::hw {
+
+namespace {
+
+// Best-effort CPU model string: /proc/cpuinfo "model name" on Linux; the
+// pseudo-profile's generic label otherwise.
+std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") != 0) continue;
+    size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    if (start < line.size()) return line.substr(start);
+  }
+  return HostProfile().cpu;
+}
+
+}  // namespace
+
+void PublishHostInfo(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Global();
+  const HardwareProfile host = HostProfile();
+  reg.SetInfo("host.info", {{"cpu", CpuModelName()},
+                            {"threads", std::to_string(host.threads)}});
+}
 
 HardwareProfile HostProfile() {
   HardwareProfile p;

@@ -7,6 +7,10 @@
 #include "hw/cost_model.h"
 #include "hw/profile.h"
 
+namespace wimpi::obs {
+class MetricsRegistry;
+}  // namespace wimpi::obs
+
 namespace wimpi::hw {
 
 // Model-vs-measured hook: the cost model's multicore scaling law is
@@ -38,6 +42,13 @@ std::vector<ScalingPoint> AnchorScaling(
     const CostModel& model, const HardwareProfile& host,
     const std::vector<int>& thread_counts,
     const std::function<double(int)>& measure_seconds);
+
+// Publishes the build host's fingerprint as an info gauge
+// (host.info{cpu="...",threads="..."} = 1) so metrics scraped from
+// different hosts are distinguishable. The cpu label uses the
+// /proc/cpuinfo model name where readable, else HostProfile().cpu.
+// nullptr = MetricsRegistry::Global().
+void PublishHostInfo(obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace wimpi::hw
 

@@ -122,6 +122,18 @@ constexpr HelpEntry kHelpTable[] = {
     {"cluster.fault.reassigned_partitions",
      "Partitions moved to another node after repeated failures"},
     {"cluster.fault.nodes_failed", "Nodes lost during the run"},
+    {"host.info",
+     "Host fingerprint (constant 1; labels identify cpu model and thread "
+     "count so series from different hosts are distinguishable)"},
+    {"stats.qerror",
+     "Cardinality Q-error max(est/act, act/est) per estimated operator"},
+    {"stats.qerror.max", "Worst cardinality Q-error observed"},
+    {"stats.qerror.ops.estimated",
+     "Operator invocations with both an estimate and an actual"},
+    {"stats.qerror.ops.recorded",
+     "Operator invocations with actual cardinalities recorded"},
+    {"stats.qerror.class.*",
+     "Cardinality Q-error per estimated operator of this class"},
 };
 
 }  // namespace
@@ -161,6 +173,19 @@ std::string ExpositionFormat::EscapeLabelValue(const std::string& value) {
 
 std::string ExpositionFormat::Write(const RegistrySnapshot& snapshot) {
   std::string out;
+  for (const auto& [name, labels] : snapshot.infos) {
+    const std::string n = SanitizeName(name);
+    WriteFamilyHeader(out, name, n, "gauge");
+    std::string label_str;
+    for (const auto& [k, v] : labels) {
+      if (!label_str.empty()) label_str += ',';
+      label_str += SanitizeName(k).substr(6);  // drop the wimpi_ prefix
+      label_str += "=\"";
+      label_str += EscapeLabelValue(v);
+      label_str += '"';
+    }
+    WriteSample(out, n, label_str, 1);
+  }
   for (const auto& [name, value] : snapshot.counters) {
     const std::string n = SanitizeName(name);
     WriteFamilyHeader(out, name, n, "counter");

@@ -146,11 +146,20 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return histograms_.try_emplace(name, bounds).first->second;
 }
 
+void MetricsRegistry::SetInfo(const std::string& name,
+                              std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  infos_[name] = std::move(labels);
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [_, c] : counters_) c.Reset();
   for (auto& [_, g] : gauges_) g.Reset();
   for (auto& [_, h] : histograms_) h.Reset();
+  // Infos carry identity, not accumulation — erasing (not zeroing) them is
+  // what a test expects from a clean slate; nothing caches info pointers.
+  infos_.clear();
 }
 
 std::string MetricsRegistry::FormatText() const {
@@ -172,6 +181,16 @@ std::string MetricsRegistry::FormatText() const {
                   h.Max());
     out << buf << "\n";
   }
+  for (const auto& [name, labels] : infos_) {
+    out << name << "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out << ",";
+      out << k << "=\"" << v << "\"";
+      first = false;
+    }
+    out << "} 1\n";
+  }
   return out.str();
 }
 
@@ -192,6 +211,7 @@ std::map<std::string, double> MetricsRegistry::ScalarSnapshot() const {
 RegistrySnapshot MetricsRegistry::SnapshotAll() const {
   std::lock_guard<std::mutex> lock(mu_);
   RegistrySnapshot snap;
+  snap.infos = infos_;
   for (const auto& [name, c] : counters_) snap.counters[name] = c.Value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.Value();
   for (const auto& [name, h] : histograms_) {

@@ -89,6 +89,10 @@ struct RegistrySnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  // Info metrics: constant gauges of value 1 whose labels carry identity
+  // (e.g. host.info{cpu="...",threads="..."}), Prometheus convention for
+  // distinguishing series scraped from different hosts.
+  std::map<std::string, std::map<std::string, std::string>> infos;
 };
 
 // Process-wide named metrics. Lookup takes a mutex; the returned references
@@ -104,6 +108,12 @@ class MetricsRegistry {
   Histogram& histogram(
       const std::string& name,
       const std::vector<double>& bounds = Histogram::DefaultLatencyBoundsUs());
+
+  // Registers (or replaces) an info metric: exported as a gauge of
+  // constant value 1 whose labels carry identity strings, e.g.
+  // SetInfo("host.info", {{"cpu", "..."}, {"threads", "4"}}).
+  void SetInfo(const std::string& name,
+               std::map<std::string, std::string> labels);
 
   // Zeroes every metric (keeps registrations). Test helper.
   void Reset();
@@ -130,6 +140,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::map<std::string, std::string>> infos_;
 };
 
 // Global switch for the ThreadPool/TaskScheduler instrumentation hooks.

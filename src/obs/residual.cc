@@ -1,9 +1,12 @@
 #include "obs/residual.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace wimpi::obs {
 
@@ -240,6 +243,142 @@ std::string CounterResidualReport::Format() const {
            "that)\n";
   }
   return out.str();
+}
+
+// ---------- Cardinality residuals ----------
+
+double QError(double est, double actual) {
+  const double e = std::max(est, 1.0);
+  const double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+namespace {
+
+struct ClassQAccum {
+  int ops = 0;
+  double log_sum = 0;  // sum of ln(q) for the geomean
+  double max_q = 1;
+  CardinalityEntry worst;
+};
+
+void CollectProfileOps(const ProfileNode& node,
+                       std::vector<exec::OpStats>* out) {
+  out->insert(out->end(), node.op_stats.begin(), node.op_stats.end());
+  for (const auto& c : node.children) CollectProfileOps(*c, out);
+}
+
+}  // namespace
+
+CardinalityReport CardinalityResiduals(const std::vector<exec::OpStats>& ops,
+                                       std::string label) {
+  CardinalityReport report;
+  report.label = std::move(label);
+  std::map<std::string, ClassQAccum> classes;
+  double log_sum = 0;
+  for (const exec::OpStats& s : ops) {
+    if (s.rows_out < 0) continue;  // no actual recorded
+    ++report.recorded;
+    if (s.est_rows < 0) continue;  // no estimator was installed / no stats
+    ++report.estimated;
+    CardinalityEntry e;
+    e.op = s.op;
+    e.rows_in = s.rows_in;
+    e.rows_out = s.rows_out;
+    e.est_rows = s.est_rows;
+    e.q_error = QError(s.est_rows, s.rows_out);
+    log_sum += std::log(e.q_error);
+    if (e.q_error > report.max_q) report.max_q = e.q_error;
+    ClassQAccum& a = classes[OpClass(s.op)];
+    ++a.ops;
+    a.log_sum += std::log(e.q_error);
+    if (a.ops == 1 || e.q_error > a.max_q) {
+      a.max_q = e.q_error;
+      a.worst = e;
+    }
+    report.entries.push_back(std::move(e));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const CardinalityEntry& a, const CardinalityEntry& b) {
+              return a.q_error > b.q_error;
+            });
+  report.geomean_q =
+      report.estimated > 0 ? std::exp(log_sum / report.estimated) : 1;
+  for (auto& [cls, a] : classes) {
+    CardinalityClassEntry c;
+    c.op_class = cls;
+    c.ops = a.ops;
+    c.max_q = a.max_q;
+    c.geomean_q = a.ops > 0 ? std::exp(a.log_sum / a.ops) : 1;
+    c.worst = std::move(a.worst);
+    report.classes.push_back(std::move(c));
+  }
+  std::sort(report.classes.begin(), report.classes.end(),
+            [](const CardinalityClassEntry& a, const CardinalityClassEntry& b) {
+              return a.max_q > b.max_q;
+            });
+  return report;
+}
+
+CardinalityReport CardinalityResiduals(const exec::QueryStats& stats,
+                                       std::string label) {
+  return CardinalityResiduals(stats.ops, std::move(label));
+}
+
+CardinalityReport CardinalityResiduals(const QueryProfile& profile) {
+  std::vector<exec::OpStats> ops;
+  CollectProfileOps(profile.root, &ops);
+  return CardinalityResiduals(ops, profile.root.name);
+}
+
+std::string CardinalityReport::Format() const {
+  std::ostringstream out;
+  char buf[220];
+  std::snprintf(buf, sizeof(buf),
+                "Cardinality residuals for %s (%d ops with actuals, %d "
+                "estimated; Q-error max %.2f geomean %.2f)\n",
+                label.c_str(), recorded, estimated, max_q, geomean_q);
+  out << buf;
+  if (estimated == 0) {
+    out << "  no estimates recorded (install a cardinality estimator — see "
+           "DESIGN.md §13)\n";
+    return out.str();
+  }
+  std::snprintf(buf, sizeof(buf), "  %-18s %5s %9s %9s   %s\n", "op class",
+                "ops", "max Q", "geo Q", "worst offender (est -> actual)");
+  out << buf;
+  for (const auto& c : classes) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s %5d %9.2f %9.2f   %s (%.0f -> %.0f)\n",
+                  c.op_class.c_str(), c.ops, c.max_q, c.geomean_q,
+                  c.worst.op.c_str(), c.worst.est_rows, c.worst.rows_out);
+    out << buf;
+  }
+  out << "  (Q-error = max(est/act, act/est), 1.00 = perfect; large values "
+         "flag stale sketches or bad selectivity formulas)\n";
+  return out.str();
+}
+
+void RecordCardinalityMetrics(const CardinalityReport& report,
+                              MetricsRegistry* registry) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  // Q-error buckets: ratios, not latencies — dense near 1.
+  static const std::vector<double> kQBounds = {1,  1.1, 1.25, 1.5, 2,    3,
+                                               5,  10,  30,   100, 1000};
+  reg.counter("stats.qerror.ops.recorded").Add(report.recorded);
+  reg.counter("stats.qerror.ops.estimated").Add(report.estimated);
+  if (report.estimated == 0) return;
+  Gauge& max_g = reg.gauge("stats.qerror.max");
+  if (report.max_q > max_g.Value()) max_g.Set(report.max_q);
+  Histogram& all = reg.histogram("stats.qerror", kQBounds);
+  for (const auto& e : report.entries) {
+    all.Record(e.q_error);
+    const size_t paren = e.op.find('(');
+    const std::string cls =
+        paren == std::string::npos ? e.op : e.op.substr(0, paren);
+    reg.histogram("stats.qerror.class." + cls, kQBounds).Record(e.q_error);
+  }
 }
 
 }  // namespace wimpi::obs

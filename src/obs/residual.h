@@ -92,6 +92,68 @@ struct CounterResidualReport {
 // carries the note and Format() renders "counters unavailable".
 CounterResidualReport CounterResiduals(const QueryProfile& profile);
 
+// ---------- Cardinality residuals (plan quality, DESIGN.md §13) ----------
+//
+// The third residual family: predicted vs measured operator output
+// cardinalities. Operators record actual rows_in/rows_out in OpStats
+// always, and est_rows when an exec::CardinalityEstimator (typically a
+// stats::StatsRegistry) is installed; this report aggregates the classic
+// Q-error max(est/act, act/est) per operator class, so plan-quality
+// regressions (sketch drift, broken selectivity formulas) surface next to
+// the cost-model and counter residuals.
+
+// Q-error of one estimate/actual pair, always >= 1 (1 = perfect). Both
+// sides are clamped to >= 1 row first, so zero-row operators do not
+// produce infinities.
+double QError(double est, double actual);
+
+struct CardinalityEntry {
+  std::string op;       // full OpStats name, e.g. "filter(l_shipdate)"
+  double rows_in = -1;
+  double rows_out = -1;
+  double est_rows = -1;
+  double q_error = 1;
+};
+
+struct CardinalityClassEntry {
+  std::string op_class;  // OpStats name up to '(' — e.g. "filter"
+  int ops = 0;           // invocations with both estimate and actual
+  double max_q = 1;
+  double geomean_q = 1;
+  CardinalityEntry worst;  // the invocation that set max_q
+};
+
+struct CardinalityReport {
+  std::string label;
+  int recorded = 0;   // OpStats carrying actual cardinalities
+  int estimated = 0;  // of those, OpStats also carrying an estimate
+  double max_q = 1;
+  double geomean_q = 1;  // over all estimated ops
+  std::vector<CardinalityClassEntry> classes;  // sorted by max_q, desc
+  std::vector<CardinalityEntry> entries;       // estimated ops, worst first
+
+  std::string Format() const;
+};
+
+// Aggregates Q-errors from raw OpStats (any source: QueryStats or a
+// profile tree's per-node stats). Ops without actuals are counted as
+// unrecorded; ops without estimates contribute to `recorded` only.
+CardinalityReport CardinalityResiduals(const std::vector<exec::OpStats>& ops,
+                                       std::string label = "query");
+CardinalityReport CardinalityResiduals(const exec::QueryStats& stats,
+                                       std::string label = "query");
+CardinalityReport CardinalityResiduals(const QueryProfile& profile);
+
+// Publishes a report into the metrics registry for Prometheus exposition:
+//   stats.qerror                  histogram of per-op Q-errors
+//   stats.qerror.class.<class>    per-class histograms
+//   stats.qerror.max              gauge, worst Q-error seen so far
+//   stats.qerror.ops.estimated    counter
+//   stats.qerror.ops.recorded     counter
+class MetricsRegistry;
+void RecordCardinalityMetrics(const CardinalityReport& report,
+                              MetricsRegistry* registry = nullptr);
+
 }  // namespace wimpi::obs
 
 #endif  // WIMPI_OBS_RESIDUAL_H_

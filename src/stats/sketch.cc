@@ -1,0 +1,126 @@
+#include "stats/sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wimpi::stats {
+
+HllSketch::HllSketch(int precision) : precision_(precision) {
+  WIMPI_CHECK(precision >= 4 && precision <= 18);
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+void HllSketch::AddHash(uint64_t hash) {
+  const uint64_t idx = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank = leading zeros of the remaining 64-p bits, plus one. An all-zero
+  // remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1;
+  uint8_t& reg = registers_[idx];
+  if (rank > reg) reg = static_cast<uint8_t>(rank);
+}
+
+void HllSketch::Merge(const HllSketch& other) {
+  WIMPI_CHECK_EQ(precision_, other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HllSketch::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double inv_sum = 0;
+  int64_t zeros = 0;
+  for (const uint8_t reg : registers_) {
+    // ldexp keeps each term an exact power of two, so the sum is the same
+    // at every summation order the merge might have produced — it didn't
+    // produce any: registers are merged before estimation, and this loop is
+    // always sequential. Exactness still helps cross-host determinism.
+    inv_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Linear counting: much more accurate in the small-cardinality regime.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+EquiDepthHistogram EquiDepthHistogram::FromSample(std::vector<double> sample,
+                                                  int buckets) {
+  EquiDepthHistogram h;
+  if (sample.empty() || buckets <= 0) return h;
+  std::sort(sample.begin(), sample.end());
+  const size_t s = sample.size();
+  const int b = std::min<int>(buckets, static_cast<int>(s));
+  h.bounds_.reserve(b + 1);
+  h.cum_le_.reserve(b + 1);
+  h.cum_lt_.reserve(b + 1);
+  for (int i = 0; i <= b; ++i) {
+    const size_t pos = (i * (s - 1)) / b;
+    const double bound = sample[pos];
+    // Collapse duplicate bounds (heavy hitters spanning several quantile
+    // positions); the cumulative fractions at the bound already carry the
+    // point mass.
+    if (!h.bounds_.empty() && bound == h.bounds_.back()) continue;
+    const auto le = std::upper_bound(sample.begin(), sample.end(), bound) -
+                    sample.begin();
+    const auto lt = std::lower_bound(sample.begin(), sample.end(), bound) -
+                    sample.begin();
+    h.bounds_.push_back(bound);
+    h.cum_le_.push_back(static_cast<double>(le) / static_cast<double>(s));
+    h.cum_lt_.push_back(static_cast<double>(lt) / static_cast<double>(s));
+  }
+  return h;
+}
+
+double EquiDepthHistogram::FractionAtMost(double v) const {
+  if (bounds_.empty()) return 0;
+  if (v < bounds_.front()) return 0;
+  if (v >= bounds_.back()) return 1;
+  // bounds_[j] <= v < bounds_[j+1]
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t j = static_cast<size_t>(it - bounds_.begin()) - 1;
+  if (v == bounds_[j]) return cum_le_[j];
+  // Interpolate over the open interval: from "everything <= lower bound"
+  // to "everything strictly below the upper bound".
+  const double lo = bounds_[j], hi = bounds_[j + 1];
+  const double clo = cum_le_[j], chi = cum_lt_[j + 1];
+  return clo + (chi - clo) * (v - lo) / (hi - lo);
+}
+
+double EquiDepthHistogram::FractionBelow(double v) const {
+  if (bounds_.empty()) return 0;
+  if (v <= bounds_.front()) return 0;
+  if (v > bounds_.back()) return 1;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  if (it != bounds_.end() && *it == v) {
+    return cum_lt_[static_cast<size_t>(it - bounds_.begin())];
+  }
+  return FractionAtMost(v);
+}
+
+double EquiDepthHistogram::Quantile(double q) const {
+  if (bounds_.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= cum_le_.front()) return bounds_.front();
+  if (q >= cum_le_.back()) return bounds_.back();
+  const auto it = std::lower_bound(cum_le_.begin(), cum_le_.end(), q);
+  const size_t j = static_cast<size_t>(it - cum_le_.begin());
+  // The point mass at bounds_[j] spans [cum_lt_[j], cum_le_[j]]; any q in
+  // that span is the bound itself. Below it, interpolate the continuous
+  // part of the bucket.
+  if (q >= cum_lt_[j]) return bounds_[j];
+  const double clo = cum_le_[j - 1], chi = cum_lt_[j];
+  const double lo = bounds_[j - 1], hi = bounds_[j];
+  if (chi <= clo) return hi;
+  return lo + (hi - lo) * (q - clo) / (chi - clo);
+}
+
+}  // namespace wimpi::stats

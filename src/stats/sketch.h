@@ -1,0 +1,84 @@
+#ifndef WIMPI_STATS_SKETCH_H_
+#define WIMPI_STATS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wimpi::stats {
+
+// HyperLogLog distinct-count sketch (Flajolet et al.). Callers feed
+// already-hashed 64-bit values (wimpi::HashInt64 of the value's bit
+// pattern, or of the dictionary code for strings); the sketch keeps the
+// maximum leading-zero rank per register. Merge is a register-wise max,
+// which is commutative and associative, so per-morsel shards merged in any
+// order give the same registers as a single sequential pass — the property
+// that makes parallel stats collection deterministic.
+//
+// At the default precision (2^14 registers, 16 KiB) the standard error is
+// 1.04/sqrt(2^14) ~ 0.8%; stats_test asserts < 3% across a cardinality
+// sweep. Small cardinalities use the linear-counting correction.
+class HllSketch {
+ public:
+  static constexpr int kDefaultPrecision = 14;
+
+  explicit HllSketch(int precision = kDefaultPrecision);
+
+  // Adds one pre-hashed value.
+  void AddHash(uint64_t hash);
+
+  // Register-wise max; `other` must share this sketch's precision.
+  void Merge(const HllSketch& other);
+
+  // Bias-corrected cardinality estimate.
+  double Estimate() const;
+
+  int precision() const { return precision_; }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+// Equi-depth histogram over a numeric sample: buckets()+1 bound values at
+// evenly spaced sample quantiles plus the exact cumulative fractions of
+// the sample at (<=) and strictly below (<) each bound, so duplicate-heavy
+// (skewed) distributions keep their point masses. Selectivity queries
+// interpolate linearly inside a bucket. Built from a deterministic stride
+// sample of the column, so the histogram is identical at any thread count.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  // Builds from an (unsorted) sample; `buckets` is the target bucket
+  // count. An empty sample yields an empty histogram.
+  static EquiDepthHistogram FromSample(std::vector<double> sample,
+                                       int buckets);
+
+  bool empty() const { return bounds_.empty(); }
+  int buckets() const {
+    return bounds_.empty() ? 0 : static_cast<int>(bounds_.size()) - 1;
+  }
+  double min() const { return bounds_.front(); }
+  double max() const { return bounds_.back(); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Fraction of values <= v (and < v), in [0, 1]. At an exact bucket
+  // bound the point mass is resolved exactly against the sample; between
+  // bounds both interpolate linearly (they differ only by point masses
+  // the sample can't see there).
+  double FractionAtMost(double v) const;
+  double FractionBelow(double v) const;
+
+  // Value at cumulative fraction q in [0, 1] (inverse of FractionAtMost).
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;  // bucket edges, strictly increasing
+  std::vector<double> cum_le_;  // fraction of sample <= bounds_[i]
+  std::vector<double> cum_lt_;  // fraction of sample <  bounds_[i]
+};
+
+}  // namespace wimpi::stats
+
+#endif  // WIMPI_STATS_SKETCH_H_

@@ -1,0 +1,96 @@
+#ifndef WIMPI_STATS_TABLE_STATS_H_
+#define WIMPI_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "exec/filter.h"
+#include "stats/sketch.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace wimpi::stats {
+
+// Statistics for one column, built in a single streaming pass (eagerly or
+// from a stride sample — see StatsBuildOptions). String columns carry NDV
+// (over dictionary codes, which map 1:1 to values) and average value
+// length but no histogram or min/max (codes have no value order).
+struct ColumnStats {
+  std::string column;
+  storage::DataType type = storage::DataType::kInt32;
+  // Statistics identity stamped on the base column by StatsRegistry and
+  // propagated through gathers; 0 until registered.
+  uint32_t origin = 0;
+
+  int64_t row_count = 0;
+  // Always 0: the engine stores no NULLs (see storage::Column). Kept so
+  // the stats schema matches what a general optimizer expects.
+  int64_t null_count = 0;
+  // Rows that actually fed the sketches (== row_count for an eager build,
+  // fewer for a sampled one).
+  int64_t sample_rows = 0;
+
+  double ndv = 0;        // HyperLogLog estimate, clamped to [0, row_count]
+  double min_value = 0;  // numeric columns only (0 for strings)
+  double max_value = 0;
+  double avg_width = 0;  // bytes per value; mean length for strings
+  EquiDepthHistogram histogram;  // numeric columns only
+
+  bool numeric() const { return type != storage::DataType::kString; }
+
+  // -- Selectivity formulas (System R style + histogram refinements). All
+  // return a fraction clamped to [0, 1]; they assume this struct holds
+  // real statistics (callers check existence first). --
+
+  // P(col == v): the histogram point mass where the sample resolves it
+  // (heavy hitters on integral columns), else 1/NDV.
+  double EqSelectivityAt(double v) const;
+  double EqSelectivity() const;  // 1/NDV, no value known
+  // P(col <op> v) for an order comparison or equality.
+  double CmpSelectivity(exec::CmpOp op, double v) const;
+  // P(lo <= col <= hi), bounds inclusive.
+  double RangeSelectivity(double lo, double hi) const;
+
+ private:
+  // Histogram-less fallback: fraction <= v (inclusive) or < v assuming a
+  // uniform distribution over [min_value, max_value].
+  double UniformFraction(double v, bool inclusive) const;
+};
+
+// Statistics for one table, keyed by column name.
+struct TableStats {
+  std::string table;
+  int64_t row_count = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* Find(const std::string& column) const {
+    const auto it = columns.find(column);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+struct StatsBuildOptions {
+  int hll_precision = HllSketch::kDefaultPrecision;
+  int histogram_buckets = 64;
+  // Target histogram sample size; the sample takes every k-th row for the
+  // deterministic k that lands closest at or under the target.
+  int64_t sample_target = 16 * 1024;
+  // 1 = eager (every row feeds the sketches). > 1 = sampled build: only
+  // every scan_stride-th row is read; NDV is scaled up for key-like
+  // columns and min/max are those of the sample. Used by the lazy
+  // collect-during-scans mode.
+  int64_t scan_stride = 1;
+};
+
+// One streaming pass over every column of `table`. Parallel under the
+// ambient exec options (per-chunk shards merged in chunk order; every
+// merge step — HLL register max, min/max, integer width sums, global-
+// index stride samples — is partition-independent), so the result is
+// bit-identical at any thread count and morsel size.
+TableStats BuildTableStats(const storage::Table& table,
+                           const StatsBuildOptions& opts = {});
+
+}  // namespace wimpi::stats
+
+#endif  // WIMPI_STATS_TABLE_STATS_H_

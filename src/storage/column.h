@@ -1,6 +1,7 @@
 #ifndef WIMPI_STORAGE_COLUMN_H_
 #define WIMPI_STORAGE_COLUMN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -96,6 +97,15 @@ class Column {
 
   void ShrinkToFit();
 
+  // Statistics origin tag (DESIGN.md §13): a process-unique id stamped by
+  // stats::StatsRegistry on base-table columns when statistics are
+  // collected, and propagated by Gather/GatherWithDefault/ConcatRelations
+  // so a gathered intermediate still identifies which base column its
+  // values came from. 0 = unknown (no stats). Purely observational: never
+  // read by the operators themselves.
+  uint32_t origin() const { return origin_; }
+  void set_origin(uint32_t origin) { origin_ = origin; }
+
   // Heap bytes of the value array (excludes any shared dictionary).
   int64_t ValueBytes() const {
     return static_cast<int64_t>(i32_.capacity()) * sizeof(int32_t) +
@@ -109,6 +119,7 @@ class Column {
   std::vector<int64_t> i64_;
   std::vector<double> f64_;
   std::shared_ptr<Dictionary> dict_;
+  uint32_t origin_ = 0;
 };
 
 }  // namespace wimpi::storage

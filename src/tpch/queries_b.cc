@@ -1,6 +1,7 @@
 // TPC-H queries 12-22 plus the RunQuery registry. See queries_a.cc.
 #include "common/date.h"
 #include "common/strings.h"
+#include "exec/exec_options.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 #include "tpch/queries_impl.h"
@@ -45,6 +46,11 @@ std::unique_ptr<storage::Column> MaskToF64(const std::vector<uint8_t>& mask,
     op.compute_ops = static_cast<double>(mask.size());
     op.seq_bytes = static_cast<double>(mask.size()) * 9;
     op.output_bytes = static_cast<double>(mask.size()) * 8;
+    op.rows_in = static_cast<double>(mask.size());
+    op.rows_out = static_cast<double>(mask.size());
+    if (exec::CurrentExecOptions().cardinality_estimator != nullptr) {
+      op.est_rows = static_cast<double>(mask.size());  // element-wise map
+    }
     stats->Add(std::move(op));
   }
   return col;
@@ -64,6 +70,11 @@ std::unique_ptr<storage::Column> AddConstI32(const storage::Column& a,
     op.compute_ops = static_cast<double>(n);
     op.seq_bytes = static_cast<double>(n) * 8;
     op.output_bytes = static_cast<double>(n) * 4;
+    op.rows_in = static_cast<double>(n);
+    op.rows_out = static_cast<double>(n);
+    if (exec::CurrentExecOptions().cardinality_estimator != nullptr) {
+      op.est_rows = static_cast<double>(n);  // element-wise map
+    }
     stats->Add(std::move(op));
   }
   return col;

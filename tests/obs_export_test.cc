@@ -19,6 +19,7 @@
 #include "common/json.h"
 #include "engine/executor.h"
 #include "gtest/gtest.h"
+#include "hw/host_anchor.h"
 #include "obs/export/event_log.h"
 #include "obs/export/exposition.h"
 #include "obs/metrics.h"
@@ -451,6 +452,48 @@ TEST(Exposition, GlobalRegistryExports) {
   std::vector<obs::ExpositionSample> samples;
   std::string error;
   ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &error)) << error;
+  reg.ResetForTesting();
+}
+
+TEST(Exposition, InfoMetricsRoundTripWithLabels) {
+  // Info metrics (host.info convention): written as a labeled gauge of
+  // constant value 1; the parser must hand back the identity labels.
+  obs::RegistrySnapshot snap;
+  snap.infos["host.info"] = {{"cpu", "Test CPU @ 1.5GHz"}, {"threads", "4"}};
+  snap.counters["pool.tasks"] = 1;
+
+  const std::string text = obs::ExpositionFormat::Write(snap);
+  std::vector<obs::ExpositionSample> samples;
+  std::string error;
+  ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &error)) << error;
+
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.name != "wimpi_host_info") continue;
+    found = true;
+    EXPECT_EQ(s.value, 1);
+    EXPECT_EQ(s.labels.at("cpu"), "Test CPU @ 1.5GHz");
+    EXPECT_EQ(s.labels.at("threads"), "4");
+  }
+  EXPECT_TRUE(found) << text;
+}
+
+TEST(Exposition, PublishHostInfoLandsInGlobalExposition) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTesting();
+  hw::PublishHostInfo();
+  const std::string text = obs::ExpositionFormat::WriteGlobal();
+  std::vector<obs::ExpositionSample> samples;
+  std::string error;
+  ASSERT_TRUE(obs::ExpositionFormat::Parse(text, &samples, &error)) << error;
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.name != "wimpi_host_info") continue;
+    found = true;
+    EXPECT_FALSE(s.labels.at("cpu").empty());
+    EXPECT_GT(std::stoi(s.labels.at("threads")), 0);
+  }
+  EXPECT_TRUE(found) << text;
   reg.ResetForTesting();
 }
 

@@ -1,10 +1,17 @@
 // Validates an exported distributed trace (and optionally an event log):
-// the CI smoke gate behind `bench_table3_sf10 --trace/--events`. Checks
-// that the JSON parses, that every span's parent resolves inside the same
-// trace, that retry attempts chain to the attempt they retried, that every
-// flow arrow has both ends, and that each event-log line is valid JSON.
-// Exits nonzero with a message on the first structural problem, so a
-// refactor that silently drops spans or breaks causality fails the build.
+// the CI smoke gate behind `bench_table3_sf10 --trace/--events` and
+// `bench_chaos --trace`. Checks that the JSON parses, that every span's
+// parent resolves inside the same trace, that retry attempts chain to the
+// attempt they retried, that every flow arrow has both ends, and that each
+// event-log line is valid JSON. Fine-grained recovery traces get three
+// more causality checks: every cluster.steal instant must hang off the
+// thief's stolen segment (or its partition span), every steal instant must
+// have a matching victim->thief flow arrow, and per partition the
+// cluster.ckpt "morsels" args must sum to the partition span's morsel
+// count — the trace-level form of the checkpoint invariant (every morsel
+// acknowledged exactly once). Exits nonzero with a message on the first
+// structural problem, so a refactor that silently drops spans or breaks
+// causality fails the build.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -49,10 +56,31 @@ bool CheckTrace(const std::string& path) {
     return Fail(path + " has no traceEvents array");
   }
 
-  // First pass: collect every span id per trace.
+  // Everything the fine-grained causality checks need about one span.
+  struct SpanInfo {
+    std::string cat;
+    int partition = -1;
+    int morsels = -1;
+    bool stolen = false;
+  };
+
+  // First pass: collect every span id per trace (plus the category /
+  // partition / morsel args the fine-grained checks consume).
   std::map<uint64_t, std::set<uint64_t>> spans_by_trace;
+  std::map<std::pair<uint64_t, uint64_t>, SpanInfo> span_info;
   std::map<std::string, int> flow_sides;  // "s"/"f" balance per flow id
-  int spans = 0, attempts = 0, faults = 0;
+  // (trace, partition) -> summed cluster.ckpt morsels / partition span's
+  // declared morsel count.
+  std::map<std::pair<uint64_t, int>, int> ckpt_sum;
+  std::map<std::pair<uint64_t, int>, int> partition_morsels;
+  struct StealRef {
+    uint64_t trace = 0;
+    uint64_t parent = 0;
+    int partition = -1;
+  };
+  std::vector<StealRef> steal_refs;
+  int spans = 0, attempts = 0, faults = 0, steals = 0, ckpts = 0;
+  int steal_flow_starts = 0;
   for (const JsonValue& e : events->AsArray()) {
     if (!e.is_object()) return Fail("non-object trace event");
     const std::string ph = e.GetString("ph", "");
@@ -60,17 +88,52 @@ bool CheckTrace(const std::string& path) {
     const JsonValue* args = e.Find("args");
     const uint64_t trace = args != nullptr ? HexField(*args, "trace") : 0;
     const uint64_t span = args != nullptr ? HexField(*args, "span") : 0;
-    if (span != 0) spans_by_trace[trace].insert(span);
-    if (ph == "X") ++spans;
     const std::string cat = e.GetString("cat", "");
+    if (span != 0) {
+      spans_by_trace[trace].insert(span);
+      SpanInfo info;
+      info.cat = cat;
+      if (args != nullptr) {
+        info.partition =
+            static_cast<int>(args->GetDouble("partition", -1));
+        info.morsels = static_cast<int>(args->GetDouble("morsels", -1));
+        const JsonValue* st = args->Find("stolen");
+        info.stolen = st != nullptr && st->AsBool();
+      }
+      span_info[{trace, span}] = info;
+      if (cat == "cluster.partition" && info.partition >= 0 &&
+          info.morsels >= 0) {
+        partition_morsels[{trace, info.partition}] = info.morsels;
+      }
+    }
+    if (ph == "X") ++spans;
     if (cat == "cluster.attempt") ++attempts;
     if (cat == "cluster.fault") ++faults;
+    if (cat == "cluster.steal") {
+      ++steals;
+      StealRef ref;
+      ref.trace = trace;
+      ref.parent = args != nullptr ? HexField(*args, "parent") : 0;
+      ref.partition =
+          args != nullptr
+              ? static_cast<int>(args->GetDouble("partition", -1))
+              : -1;
+      steal_refs.push_back(ref);
+    }
+    if (cat == "cluster.ckpt" && args != nullptr) {
+      ++ckpts;
+      ckpt_sum[{trace, static_cast<int>(args->GetDouble("partition", -1))}] +=
+          static_cast<int>(args->GetDouble("morsels", 0));
+    }
     if (ph == "s" || ph == "f") {
       const JsonValue* id = e.Find("id");
       if (id == nullptr || !id->is_string()) {
         return Fail("flow event without id");
       }
       flow_sides[id->AsString()] += ph == "s" ? 1 : -1;
+      if (ph == "s" && e.GetString("name", "") == "steal") {
+        ++steal_flow_starts;
+      }
     }
   }
   if (spans == 0) return Fail(path + " contains no spans");
@@ -101,11 +164,54 @@ bool CheckTrace(const std::string& path) {
     if (balance != 0) return Fail("unbalanced flow id " + id);
   }
 
+  // Fine-grained causality: each steal instant hangs off the thief's
+  // stolen attempt span (or the partition span when the stolen range was
+  // folded into a larger segment), and each steal has its flow arrow.
+  for (const StealRef& s : steal_refs) {
+    const auto it = span_info.find({s.trace, s.parent});
+    if (it == span_info.end()) {
+      return Fail("cluster.steal parent does not resolve");
+    }
+    const SpanInfo& parent = it->second;
+    const bool ok_attempt = parent.cat == "cluster.attempt" &&
+                            parent.stolen && parent.partition == s.partition;
+    const bool ok_partition =
+        parent.cat == "cluster.partition" && parent.partition == s.partition;
+    if (!ok_attempt && !ok_partition) {
+      return Fail("cluster.steal for partition " +
+                  std::to_string(s.partition) +
+                  " hangs off a non-stolen span (cat '" + parent.cat + "')");
+    }
+  }
+  if (steals != steal_flow_starts) {
+    return Fail(std::to_string(steals) + " cluster.steal instant(s) but " +
+                std::to_string(steal_flow_starts) +
+                " steal flow arrow(s): victim->thief link missing");
+  }
+
+  // Trace-level checkpoint invariant: in a trace that checkpoints at all,
+  // each partition's published morsels must sum to the partition span's
+  // declared morsel count — no morsel acknowledged twice or dropped.
+  for (const auto& [key, declared] : partition_morsels) {
+    bool trace_has_ckpts = false;
+    for (const auto& [ck_key, sum] : ckpt_sum) {
+      if (ck_key.first == key.first && sum > 0) trace_has_ckpts = true;
+    }
+    if (!trace_has_ckpts) continue;  // retry-mode trace: no checkpoints
+    const auto it = ckpt_sum.find(key);
+    const int published = it == ckpt_sum.end() ? 0 : it->second;
+    if (published != declared) {
+      return Fail("partition " + std::to_string(key.second) +
+                  ": checkpoints acknowledge " + std::to_string(published) +
+                  " morsels, span declares " + std::to_string(declared));
+    }
+  }
+
   std::fprintf(stderr,
-               "[trace-check] %s OK: %d spans (%d attempts, %d faults), "
-               "%zu trace(s), %zu flow(s)\n",
-               path.c_str(), spans, attempts, faults, spans_by_trace.size(),
-               flow_sides.size());
+               "[trace-check] %s OK: %d spans (%d attempts, %d faults, "
+               "%d steals, %d ckpts), %zu trace(s), %zu flow(s)\n",
+               path.c_str(), spans, attempts, faults, steals, ckpts,
+               spans_by_trace.size(), flow_sides.size());
   return true;
 }
 

@@ -6,9 +6,16 @@
 //
 // With --iters N it steps through N consecutive fault seeds; --follow
 // redraws in place (ANSI clear) so the table reads like a live dashboard.
+// --fine switches the cluster to fine-grained recovery (morsel ranges +
+// checkpoints + stealing, DESIGN.md §14): the table gains a "stolen"
+// column (morsels each node executed that were stolen from a live
+// victim — the cross-node rebalancing view) and --resize additionally
+// applies a seed-derived membership plan (joined nodes appear as extra
+// rows past the initial pool).
 //
 //   ./examples/wimpi_top [--query 1] [--sf 0.05] [--model-sf 10]
 //                        [--nodes 24] [--seed 42] [--iters 1] [--follow]
+//                        [--fine] [--resize]
 //
 // With --service the view flips to the concurrent query service on one
 // node: closed-loop sessions hammer a QueryService while the dashboard
@@ -48,7 +55,8 @@ struct NodeStats {
   double busy_s = 0;
   int attempts = 0;
   int failed = 0;
-  int partitions = 0;  // successful attempts == partitions served
+  int partitions = 0;   // successful attempts == partitions served
+  int stolen_morsels = 0;  // morsels executed here but stolen elsewhere
 };
 
 // --service mode: drive a live QueryService with closed-loop sessions and
@@ -202,6 +210,8 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
   const int iters = static_cast<int>(cli.GetInt("iters", 1));
   const bool follow = cli.GetBool("follow", false);
+  const bool fine = cli.GetBool("fine", false);
+  const bool resize = cli.GetBool("resize", false);
 
   if (!wimpi::tpch::InSf10Subset(query)) {
     std::printf("query must be one of 1,3,4,5,6,13,14,19\n");
@@ -218,6 +228,12 @@ int main(int argc, char** argv) {
     opts.num_nodes = nodes;
     opts.sf_scale = model_sf / sf;
     opts.faults = wimpi::cluster::FaultPlan::Generate(seed + iter, nodes);
+    if (fine) {
+      opts.recovery.mode = wimpi::cluster::RecoveryMode::kFineGrained;
+      if (resize) {
+        opts.resize = wimpi::cluster::ResizePlan::Generate(seed + iter, nodes);
+      }
+    }
     const wimpi::cluster::WimpiCluster cluster(db, opts);
     const auto run = cluster.Run(query, model);
     if (!run.ok()) {
@@ -235,6 +251,10 @@ int main(int argc, char** argv) {
       ++s.attempts;
       if (a.outcome == wimpi::StatusCode::kOk) {
         ++s.partitions;
+        // Steal provenance (fine mode): credit executed stolen morsels to
+        // the thief — the per-node "how much work was rebalanced here"
+        // column. Retry-mode attempts never set `stolen`.
+        if (a.stolen) s.stolen_morsels += a.morsel_end - a.morsel_begin;
       } else {
         ++s.failed;
       }
@@ -247,17 +267,28 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(seed + iter),
         opts.faults.empty() ? "no faults" : opts.faults.ToString().c_str());
 
-    TablePrinter t({"node", "fault", "parts", "attempts", "failed",
-                    "busy (s)", "util %"});
+    // Fine mode: "parts" becomes OK segments (a partition executes as many
+    // morsel ranges), and the stolen column shows rebalanced work.
+    std::vector<std::string> header = {"node",   "fault",    "parts",
+                                       "attempts", "failed", "busy (s)",
+                                       "util %"};
+    if (fine) {
+      header[2] = "segs";
+      header.push_back("stolen");
+    }
+    TablePrinter t(header);
     for (const auto& [node, s] : per_node) {
       const wimpi::cluster::NodeFault* f = opts.faults.FaultFor(node);
       const double util =
           run->total_seconds > 0 ? 100.0 * s.busy_s / run->total_seconds : 0;
-      t.AddRow({std::to_string(node),
-                f != nullptr ? wimpi::cluster::FaultKindName(f->kind) : "-",
-                std::to_string(s.partitions), std::to_string(s.attempts),
-                std::to_string(s.failed), TablePrinter::Fixed(s.busy_s, 3),
-                TablePrinter::Fixed(util, 1)});
+      std::vector<std::string> row = {
+          std::to_string(node),
+          f != nullptr ? wimpi::cluster::FaultKindName(f->kind) : "-",
+          std::to_string(s.partitions), std::to_string(s.attempts),
+          std::to_string(s.failed), TablePrinter::Fixed(s.busy_s, 3),
+          TablePrinter::Fixed(util, 1)};
+      if (fine) row.push_back(std::to_string(s.stolen_morsels));
+      t.AddRow(std::move(row));
     }
     t.Print(std::cout);
 
@@ -268,6 +299,14 @@ int main(int argc, char** argv) {
         run->total_seconds, run->degraded_seconds, run->retries,
         run->reassigned_partitions, run->nodes_failed,
         roll.count("node.busy_s.skew") ? roll.at("node.busy_s.skew") : 0.0);
+    if (fine) {
+      std::printf(
+          "fine recovery: %d morsels, %d steals (%d morsels stolen), "
+          "%d ckpts, %d recovered | joins %d, leaves %d\n",
+          run->total_morsels, run->steals, run->stolen_morsels,
+          run->checkpoints, run->recovered_morsels, run->joins,
+          run->leaves);
+    }
   }
   return 0;
 }

@@ -11,10 +11,14 @@
 # mean latency), a plan-quality stage (all 22 queries with statistics
 # collected + cardinality capture on: answers must stay bit-identical,
 # sketch accuracy and Q-error residuals validated by wimpi_stats_check
-# and gated against the committed baseline), then the sanitizer passes
-# (TSan over the parallel + service + observability + fault + stats
-# tests, ASan over everything). Each stage fails the script on the first
-# error.
+# and gated against the committed baseline), a chaos-soak stage (hundreds
+# of seed-derived fault x steal x resize scenarios through fine-grained
+# recovery: answers must stay bit-identical, every recovery mechanism must
+# be exercised, the fine-grained tail must dominate retry-only, counters
+# gated against the committed baseline, one traced scenario validated by
+# wimpi_trace_check), then the sanitizer passes (TSan over the parallel +
+# service + observability + fault + stats tests, ASan over everything).
+# Each stage fails the script on the first error.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 #   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # skip TSan/ASan stages
@@ -25,13 +29,13 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-echo "=== [1/9] build + tests ==="
+echo "=== [1/10] build + tests ==="
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure
 
 if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "=== [2/9] bench smoke + artifact regression gate ==="
+  echo "=== [2/10] bench smoke + artifact regression gate ==="
   # Small physical SF keeps this a smoke run; the gated rows are modeled
   # runtimes (deterministic: fixed dbgen seed x Table I profiles), so a
   # committed baseline is stable across hosts. Wall times in the artifact
@@ -42,7 +46,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table2_sf1.json" "${artifact}"
 
-  echo "=== [3/9] fault-injection smoke + regression gate ==="
+  echo "=== [3/10] fault-injection smoke + regression gate ==="
   # Same idea under a fixed fault seed: the degraded-mode runtimes and
   # recovery counters are pure functions of (dbgen seed, cost model, fault
   # seed), so they regress against a committed baseline like clean runs.
@@ -52,7 +56,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table3_faults.json" "${fault_artifact}"
 
-  echo "=== [4/9] traced fault run + trace structure gate ==="
+  echo "=== [4/10] traced fault run + trace structure gate ==="
   # Re-run the same fault scenario with telemetry on and validate the
   # export: one coherent span tree (every retry parented to the attempt it
   # retried, every fault flow-linked to the retry it caused) and a
@@ -66,7 +70,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_trace_check" "${trace_file}" \
     --events "${events_file}"
 
-  echo "=== [5/9] throughput smoke + regression gate ==="
+  echo "=== [5/10] throughput smoke + regression gate ==="
   # Concurrent streams through the query service: the bench itself exits
   # nonzero on any answer differing from isolated execution or on a peak
   # reservation above the budget; the gated artifact rows (counts, per-
@@ -79,7 +83,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     "${repo_root}/bench/baselines/BENCH_throughput.json" \
     "${throughput_artifact}"
 
-  echo "=== [6/9] flight recorder + SLO gate ==="
+  echo "=== [6/10] flight recorder + SLO gate ==="
   # Run the throughput bench with a deliberately tight SLO and one injected
   # straggler query per lap: every lap must trip a tail-based trigger, so
   # the run must leave behind flight dumps (base path + ".1", ...), a
@@ -118,7 +122,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     "${flight_off}" "${flight_on}" \
     --only mean_latency --wall-tol "${flight_tol}"
 
-  echo "=== [7/9] plan-quality smoke + Q-error gate ==="
+  echo "=== [7/10] plan-quality smoke + Q-error gate ==="
   # All 22 queries twice: seed path, then with column statistics collected
   # and the cardinality estimator installed. The bench exits nonzero if
   # any answer changes. The artifact rows (per-query Q-error residuals,
@@ -130,15 +134,36 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     --physical-sf 0.01 --json "${stats_artifact}" > /dev/null
   "${build_dir}/bench/wimpi_stats_check" "${stats_artifact}" \
     --baseline "${repo_root}/bench/baselines/BENCH_stats.json"
+
+  echo "=== [8/10] chaos soak + recovery gate ==="
+  # 200 SF-1 seeds plus an SF-10 subset through fine-grained recovery
+  # (pinned sweep: seed-derived fault plans, resize on even seeds, steal
+  # disabled every seventh). The bench exits nonzero on any checksum
+  # mismatch; wimpi_chaos_check enforces the seed floors, that every
+  # recovery mechanism fired, and that the fine-grained modeled tail
+  # (p95/p99/max) strictly beats whole-partition retry. The counters and
+  # tail latencies are pure functions of (dbgen seed, cost model, sweep
+  # seeds), so wimpi_bench_compare gates them against the committed
+  # baseline. One fine-grained scenario is exported with telemetry on and
+  # structurally validated (steal/ckpt causality) by wimpi_trace_check.
+  chaos_artifact="${build_dir}/BENCH_chaos.json"
+  chaos_trace="${build_dir}/BENCH_chaos.trace.json"
+  WIMPI_PERF_DISABLE=1 "${build_dir}/bench/bench_chaos" \
+    --physical-sf 0.02 --seeds 200 --sf10-seeds 16 \
+    --json "${chaos_artifact}" --trace "${chaos_trace}" > /dev/null
+  "${build_dir}/bench/wimpi_chaos_check" "${chaos_artifact}"
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${repo_root}/bench/baselines/BENCH_chaos.json" "${chaos_artifact}"
+  "${build_dir}/bench/wimpi_trace_check" "${chaos_trace}"
 else
   echo "=== bench stages skipped (WIMPI_CI_SKIP_BENCH=1) ==="
 fi
 
 if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "=== [8/9] ThreadSanitizer (parallel + service + obs + faults) ==="
+  echo "=== [9/10] ThreadSanitizer (parallel + service + obs + faults) ==="
   "${repo_root}/scripts/check_tsan.sh"
 
-  echo "=== [9/9] AddressSanitizer (full suite) ==="
+  echo "=== [10/10] AddressSanitizer (full suite) ==="
   "${repo_root}/scripts/check_asan.sh"
 else
   echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="

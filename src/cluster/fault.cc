@@ -166,4 +166,97 @@ std::string FaultPlan::ToString() const {
   return out;
 }
 
+ResizePlan ResizePlan::Generate(uint64_t seed, int num_nodes) {
+  WIMPI_CHECK_GT(num_nodes, 0);
+  ResizePlan plan;
+  plan.seed = seed;
+  // Decorrelate from FaultPlan::Generate(seed, ...) so chaos sweeps that
+  // reuse one seed for both plans do not mirror each other's draws.
+  Rng rng(seed ^ 0x7e57ab1e5eedULL);
+  const int n_events = static_cast<int>(rng.Uniform(1, 2));
+  const int max_leaves = num_nodes / 4;
+  int leaves = 0;
+  int next_join_id = num_nodes;  // joins get ids past the initial pool
+  for (int i = 0; i < n_events; ++i) {
+    ResizeEvent e;
+    e.at_fraction = 0.1 + 0.7 * rng.NextDouble();
+    const bool want_leave = rng.Bernoulli(0.5);
+    if (want_leave && leaves < max_leaves) {
+      e.join = false;
+      e.node = static_cast<int>(rng.Uniform(0, num_nodes - 1));
+      // One leave per node: retarget duplicates to a join instead.
+      bool dup = false;
+      for (const ResizeEvent& prev : plan.events) {
+        if (!prev.join && prev.node == e.node) dup = true;
+      }
+      if (dup) {
+        e.join = true;
+        e.node = next_join_id++;
+      } else {
+        ++leaves;
+      }
+    } else {
+      e.join = true;
+      e.node = next_join_id++;
+    }
+    plan.events.push_back(e);
+  }
+  // Canonical fire order regardless of draw order.
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const ResizeEvent& a, const ResizeEvent& b) {
+              if (a.at_fraction != b.at_fraction) {
+                return a.at_fraction < b.at_fraction;
+              }
+              return a.node < b.node;
+            });
+  return plan;
+}
+
+ResizePlan ResizePlan::Join(double at_fraction) {
+  ResizePlan plan;
+  ResizeEvent e;
+  e.at_fraction = at_fraction;
+  e.node = -1;  // assigned by the driver (first free id past the pool)
+  e.join = true;
+  plan.events.push_back(e);
+  return plan;
+}
+
+ResizePlan ResizePlan::Leave(int node, double at_fraction) {
+  ResizePlan plan;
+  ResizeEvent e;
+  e.at_fraction = at_fraction;
+  e.node = node;
+  e.join = false;
+  plan.events.push_back(e);
+  return plan;
+}
+
+std::string ResizePlan::ToString() const {
+  if (events.empty()) return "no resize";
+  std::string out;
+  for (const ResizeEvent& e : events) {
+    if (!out.empty()) out += "; ";
+    if (e.join) {
+      out += "join@" + Fmt1(e.at_fraction);
+    } else {
+      out += "node " + std::to_string(e.node) + " leaves@" +
+             Fmt1(e.at_fraction);
+    }
+  }
+  return out;
+}
+
+double DeterministicJitter(uint64_t seed, uint64_t a, uint64_t b) {
+  // splitmix64 over the mixed key (the same finalizer Rng::Seed uses).
+  uint64_t x = seed * 0x9e3779b97f4a7c15ULL + a * 0xbf58476d1ce4e5b9ULL +
+               b + 0x94d049bb133111ebULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
 }  // namespace wimpi::cluster

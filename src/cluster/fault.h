@@ -78,6 +78,47 @@ struct FaultPlan {
   std::string ToString() const;
 };
 
+// ---- elastic membership (fine-grained recovery only, DESIGN.md §14) ----
+
+// One membership change during a run. `at_fraction` is relative to the
+// run's clean modeled makespan estimate, so the same plan scales with the
+// workload instead of hard-coding absolute seconds. Joins introduce a new
+// worker id past the initial pool; leaves are graceful (the node publishes
+// a final checkpoint, then its remaining morsel ranges are redistributed
+// by the same checkpoint/steal machinery that handles faults).
+struct ResizeEvent {
+  double at_fraction = 0.5;  // in (0, 1]
+  int node = 0;              // leave: pool node id; join: assigned id
+  bool join = true;
+};
+
+struct ResizePlan {
+  uint64_t seed = 0;  // 0 for hand-built plans
+  std::vector<ResizeEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // Deterministically derives a resize scenario from one seed: 1..2
+  // membership changes at seed-derived fractions. Leaves are capped at
+  // num_nodes / 4, so a generated plan combined with a generated FaultPlan
+  // (crashes <= num_nodes / 4) always keeps a live majority. Same
+  // (seed, num_nodes) => identical plan, always.
+  static ResizePlan Generate(uint64_t seed, int num_nodes);
+
+  // Convenience builders for tests.
+  static ResizePlan Join(double at_fraction);
+  static ResizePlan Leave(int node, double at_fraction);
+
+  // e.g. "join@0.3; node 2 leaves@0.6".
+  std::string ToString() const;
+};
+
+// Deterministic jitter in [0, 1) for retry backoff: a pure hash of
+// (seed, a, b), so identical fault plans reproduce identical modeled
+// schedules while distinct (partition, attempt) pairs decorrelate their
+// backoff waits (no modeled thundering herd on a recovering node).
+double DeterministicJitter(uint64_t seed, uint64_t a, uint64_t b);
+
 }  // namespace wimpi::cluster
 
 #endif  // WIMPI_CLUSTER_FAULT_H_

@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "obs/tracing/span.h"
 #include "parallel/cancellation.h"
+#include "parallel/steal.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -210,6 +211,220 @@ void EmitClusterTrace(int q, const DistributedRun& run, const FaultPlan& plan,
   }
 }
 
+// Fine-grained recovery timeline (DESIGN.md §14). Same lane layout as the
+// retry trace, but the unit of work is a morsel-range segment:
+//
+//   Q<q> distributed [fine]                (root, lane 0)
+//   `- partition p {morsels:M}             (lane 1000+p)
+//      `- Q<q> p<p> seg<k>                 (lane 1+node, one per segment)
+//
+// Every steal gets an instant on the thief's lane (parented to the thief's
+// stolen segment) plus a "steal" flow arrow from the victim's lane; every
+// checkpoint publish gets a "ckpt" instant carrying {partition, morsels,
+// bytes} — so per partition the ckpt morsels sum to the partition's
+// morsel count, the invariant wimpi_trace_check enforces. Lost segments
+// get a fault instant and a "recover" flow to the segment that re-executes
+// the lost range.
+void EmitFineTrace(int q, const DistributedRun& run, const FaultPlan& plan,
+                   const std::vector<int>& morsels,
+                   const std::vector<CheckpointRecord>& ckpts,
+                   const obs::SpanContext& root) {
+  auto& sink = obs::TraceSink::Global();
+
+  {
+    obs::TraceEvent e;
+    e.name = "Q" + std::to_string(q) + " distributed [fine]";
+    e.category = "cluster";
+    e.pid = obs::kTracePidCluster;
+    e.tid = 0;
+    e.ts_us = 0;
+    e.dur_us = ModeledUs(run.total_seconds);
+    e.trace_id = root.trace_id;
+    e.span_id = root.span_id;
+    char args[160];
+    std::snprintf(args, sizeof(args),
+                  "{\"nodes\":%d,\"steals\":%d,\"ckpts\":%d,"
+                  "\"recovered\":%d,\"mode\":\"fine\"}",
+                  run.nodes_used, run.steals, run.checkpoints,
+                  run.recovered_morsels);
+    e.args_json = args;
+    sink.Record(std::move(e));
+  }
+
+  std::map<int, std::vector<const AttemptRecord*>> by_partition;
+  for (const AttemptRecord& a : run.attempts) {
+    by_partition[a.partition].push_back(&a);
+  }
+
+  std::map<int, uint64_t> partition_span;
+  std::map<const AttemptRecord*, uint64_t> span_of;
+  for (const auto& [p, segs] : by_partition) {
+    double t0 = segs.front()->start_seconds;
+    double t1 = segs.front()->end_seconds;
+    for (const AttemptRecord* a : segs) {
+      t0 = std::min(t0, a->start_seconds);
+      t1 = std::max(t1, a->end_seconds);
+    }
+    obs::TraceEvent part;
+    part.name = "partition " + std::to_string(p);
+    part.category = "cluster.partition";
+    part.pid = obs::kTracePidCluster;
+    part.tid = PartitionLane(p);
+    part.ts_us = ModeledUs(t0);
+    part.dur_us = ModeledUs(t1) - part.ts_us;
+    part.trace_id = root.trace_id;
+    part.span_id = obs::NewSpanId();
+    part.parent_id = root.span_id;
+    char pargs[64];
+    std::snprintf(pargs, sizeof(pargs), "{\"partition\":%d,\"morsels\":%d}",
+                  p, morsels[p]);
+    part.args_json = pargs;
+    partition_span[p] = part.span_id;
+    sink.Record(std::move(part));
+
+    for (size_t i = 0; i < segs.size(); ++i) {
+      const AttemptRecord& a = *segs[i];
+      obs::TraceEvent e;
+      char name[64];
+      std::snprintf(name, sizeof(name), "Q%d p%d seg%d", q, a.partition,
+                    a.attempt);
+      e.name = name;
+      e.category = "cluster.attempt";
+      e.pid = obs::kTracePidCluster;
+      e.tid = NodeLane(a.node);
+      e.ts_us = ModeledUs(a.start_seconds);
+      e.dur_us = ModeledUs(a.end_seconds) - e.ts_us;
+      e.trace_id = root.trace_id;
+      e.span_id = obs::NewSpanId();
+      e.parent_id = partition_span[p];
+      char args[180];
+      std::snprintf(args, sizeof(args),
+                    "{\"partition\":%d,\"node\":%d,\"begin\":%d,\"end\":%d,"
+                    "\"stolen\":%s,\"prev\":%d,\"outcome\":\"%s\"}",
+                    a.partition, a.node, a.morsel_begin, a.morsel_end,
+                    a.stolen ? "true" : "false", a.prev_node,
+                    Status::CodeName(a.outcome).c_str());
+      e.args_json = args;
+      span_of[&a] = e.span_id;
+      sink.Record(std::move(e));
+
+      if (a.outcome != StatusCode::kOk) {
+        obs::TraceEvent fault;
+        fault.name = FaultLabel(a, plan);
+        fault.category = "cluster.fault";
+        fault.phase = 'i';
+        fault.pid = obs::kTracePidCluster;
+        fault.tid = NodeLane(a.node);
+        fault.ts_us = ModeledUs(a.end_seconds);
+        fault.trace_id = root.trace_id;
+        fault.span_id = obs::NewSpanId();
+        fault.parent_id = span_of[&a];
+        sink.Record(std::move(fault));
+
+        // The segment that re-executes the lost range starts at its
+        // begin morsel after the loss: link the fault to it.
+        for (const AttemptRecord* b : segs) {
+          if (b == &a || b->morsel_begin != a.morsel_begin ||
+              b->start_seconds < a.end_seconds - 1e-9) {
+            continue;
+          }
+          const uint64_t flow = obs::NewSpanId();
+          obs::TraceEvent s;
+          s.name = "recover";
+          s.category = "cluster.flow";
+          s.phase = 's';
+          s.pid = obs::kTracePidCluster;
+          s.tid = NodeLane(a.node);
+          s.ts_us = ModeledUs(a.end_seconds);
+          s.trace_id = root.trace_id;
+          s.flow_id = flow;
+          sink.Record(std::move(s));
+          obs::TraceEvent f;
+          f.name = "recover";
+          f.category = "cluster.flow";
+          f.phase = 'f';
+          f.pid = obs::kTracePidCluster;
+          f.tid = NodeLane(b->node);
+          f.ts_us = ModeledUs(b->start_seconds);
+          f.trace_id = root.trace_id;
+          f.flow_id = flow;
+          sink.Record(std::move(f));
+          break;
+        }
+      }
+    }
+  }
+
+  for (const StealRecord& sr : run.steal_log) {
+    uint64_t parent = partition_span[sr.partition];
+    for (const AttemptRecord* a : by_partition[sr.partition]) {
+      if (a->node == sr.thief && a->stolen &&
+          a->morsel_begin == sr.begin) {
+        parent = span_of[a];
+        break;
+      }
+    }
+    obs::TraceEvent e;
+    e.name = "steal";
+    e.category = "cluster.steal";
+    e.phase = 'i';
+    e.pid = obs::kTracePidCluster;
+    e.tid = NodeLane(sr.thief);
+    e.ts_us = ModeledUs(sr.at_seconds);
+    e.trace_id = root.trace_id;
+    e.span_id = obs::NewSpanId();
+    e.parent_id = parent;
+    char args[120];
+    std::snprintf(args, sizeof(args),
+                  "{\"partition\":%d,\"victim\":%d,\"thief\":%d,"
+                  "\"morsels\":%d}",
+                  sr.partition, sr.victim, sr.thief, sr.end - sr.begin);
+    e.args_json = args;
+    sink.Record(std::move(e));
+
+    const uint64_t flow = obs::NewSpanId();
+    obs::TraceEvent s;
+    s.name = "steal";
+    s.category = "cluster.flow";
+    s.phase = 's';
+    s.pid = obs::kTracePidCluster;
+    s.tid = NodeLane(sr.victim);
+    s.ts_us = ModeledUs(sr.at_seconds);
+    s.trace_id = root.trace_id;
+    s.flow_id = flow;
+    sink.Record(std::move(s));
+    obs::TraceEvent f;
+    f.name = "steal";
+    f.category = "cluster.flow";
+    f.phase = 'f';
+    f.pid = obs::kTracePidCluster;
+    f.tid = NodeLane(sr.thief);
+    f.ts_us = ModeledUs(sr.at_seconds);
+    f.trace_id = root.trace_id;
+    f.flow_id = flow;
+    sink.Record(std::move(f));
+  }
+
+  for (const CheckpointRecord& ck : ckpts) {
+    obs::TraceEvent e;
+    e.name = "ckpt";
+    e.category = "cluster.ckpt";
+    e.phase = 'i';
+    e.pid = obs::kTracePidCluster;
+    e.tid = NodeLane(ck.node);
+    e.ts_us = ModeledUs(ck.at_seconds);
+    e.trace_id = root.trace_id;
+    e.span_id = obs::NewSpanId();
+    e.parent_id = partition_span[ck.partition];
+    char args[120];
+    std::snprintf(args, sizeof(args),
+                  "{\"partition\":%d,\"morsels\":%d,\"bytes\":%.0f}",
+                  ck.partition, ck.morsels, ck.bytes);
+    e.args_json = args;
+    sink.Record(std::move(e));
+  }
+}
+
 }  // namespace
 
 Result<DistributedRun> WimpiCluster::Run(int q,
@@ -296,6 +511,237 @@ Result<DistributedRun> WimpiCluster::Run(int q,
     return pe;
   };
 
+  // Shared tail of both recovery modes: ship the partials, merge on the
+  // coordinator, add the driver overhead. Identical inputs in identical
+  // (partition) order whatever the schedule was — the bit-identity
+  // argument lives here.
+  auto finish_merge = [&](DistributedRun* r) {
+    std::vector<exec::Relation> partials;
+    partials.reserve(nodes);
+    for (int p = 0; p < nodes; ++p) {
+      r->max_working_set_bytes =
+          std::max(r->max_working_set_bytes, parts[p].working_set);
+      r->network_bytes += scaled_bytes(parts[p].partial);
+      partials.push_back(std::move(parts[p].partial));
+    }
+    // Network: every node ships its partial to the coordinator, whose
+    // receive link is the bottleneck.
+    r->network_seconds =
+        fan_out ? NetworkSeconds(r->network_bytes, nodes) : 0.0;
+    // Merge on the coordinator (itself a Pi). Every merge in the
+    // distributed subset consumes per-node aggregates (at most tens of
+    // rows per node), so merge work does not scale with SF and is modeled
+    // unscaled.
+    exec::QueryStats merge_stats;
+    exec::Relation merged =
+        MergePartials(q, node_dbs_[0], std::move(partials), &merge_stats);
+    r->merge_seconds =
+        model.WorkSeconds(pi, merge_stats, opts_.threads_per_node);
+    // One query overhead (driver + plan setup) on the coordinator.
+    const double overhead_s = model.QuerySeconds(pi, exec::QueryStats{}, 1);
+    r->total_seconds = overhead_s + r->max_node_seconds +
+                       r->network_seconds + r->merge_seconds;
+    r->result = std::move(merged);
+  };
+
+  // ---- Fine-grained recovery (DESIGN.md §14): morsel-range schedule with
+  // checkpointed partials, cross-node stealing, and elastic membership.
+  // The real partials still execute exactly once per partition; only the
+  // modeled schedule below decides which worker's clock pays for which
+  // morsels, so any fault x steal x resize interleaving merges the same
+  // relation, bit for bit. ----
+  if (opts_.recovery.mode == RecoveryMode::kFineGrained) {
+    const int pool_nodes = opts_.num_nodes;
+    FineInputs fin;
+    fin.pool_nodes = pool_nodes;
+    fin.faults = plan.empty() ? nullptr : &plan;
+    fin.resize = opts_.resize.empty() ? nullptr : &opts_.resize;
+    fin.opts = opts_.recovery;
+    fin.per_node_latency_s = opts_.per_node_latency_s;
+    fin.net_mbps = opts_.node_net_mbps;
+    // Morsel basis: the partition's slice of the fan-out table. Q13 does
+    // not fan out (its partial scans replicated orders/customer), but that
+    // is exactly why its morsels CAN be stolen: any node can execute any
+    // orders range, so the paper's one-node Q13 pathology parallelizes.
+    const char* basis = fan_out ? "lineitem" : "orders";
+    for (int p = 0; p < nodes; ++p) {
+      const PartitionExec& pe = ensure_exec(p);
+      fin.work_s.push_back(pe.work_s);
+      fin.spill_s.push_back(pe.spill_s);
+      fin.partial_bytes.push_back(scaled_bytes(pe.partial));
+      fin.morsels.push_back(parallel::MorselCountForRows(
+          node_dbs_[p].table(basis).num_rows(), opts_.sf_scale,
+          opts_.recovery.morsel_rows,
+          opts_.recovery.max_morsels_per_partition));
+    }
+
+    FineSchedule sched = SimulateFineGrained(fin);
+    if (!sched.completed) {
+      cancel.Cancel();
+      if (elog.enabled()) {
+        elog.Record(obs::EventLevel::kError, "cluster", "run.aborted",
+                    {{"q", q},
+                     {"reason", std::string("every worker failed or left")}});
+      }
+      std::string msg = "Q";
+      msg += std::to_string(q);
+      msg += ": every worker failed or left (faults: ";
+      msg += plan.ToString();
+      msg += "; resize: ";
+      msg += opts_.resize.ToString();
+      msg += ")";
+      return Status::Unavailable(std::move(msg));
+    }
+    // Degradation = this schedule versus the same inputs with no faults
+    // and no resizes (pure modeled re-simulation, no re-execution).
+    FineInputs clean_in = fin;
+    clean_in.faults = nullptr;
+    clean_in.resize = nullptr;
+    const FineSchedule clean = SimulateFineGrained(clean_in);
+
+    run.max_node_seconds = sched.makespan_s;
+    int slowest = 0;
+    for (size_t n = 1; n < sched.node_clock.size(); ++n) {
+      if (sched.node_clock[n] > sched.node_clock[slowest]) {
+        slowest = static_cast<int>(n);
+      }
+    }
+    run.spill_seconds = sched.node_spill[slowest];
+    run.degraded_seconds = sched.makespan_s - clean.makespan_s;
+    run.nodes_failed = sched.nodes_failed;
+    run.total_morsels = sched.total_morsels;
+    run.steals = static_cast<int>(sched.steals.size());
+    run.stolen_morsels = sched.stolen_morsels;
+    run.checkpoints = static_cast<int>(sched.checkpoints.size());
+    run.checkpoint_bytes = sched.checkpoint_bytes;
+    run.recovered_morsels = sched.recovered_morsels;
+    run.joins = sched.joins;
+    run.leaves = sched.leaves;
+    run.steal_log = sched.steals;
+
+    // Attempt timeline: segments partition-major, per-partition in start
+    // order — the provenance view wimpi_top renders.
+    std::vector<MorselSegment> ordered = sched.segments;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const MorselSegment& a, const MorselSegment& b) {
+                       if (a.partition != b.partition) {
+                         return a.partition < b.partition;
+                       }
+                       if (a.start_seconds != b.start_seconds) {
+                         return a.start_seconds < b.start_seconds;
+                       }
+                       return a.begin < b.begin;
+                     });
+    std::vector<char> reassigned(nodes, 0);
+    int cur_part = -1;
+    int seq = 0;
+    for (const MorselSegment& s : ordered) {
+      if (s.partition != cur_part) {
+        cur_part = s.partition;
+        seq = 0;
+      }
+      AttemptRecord a;
+      a.partition = s.partition;
+      a.node = s.node;
+      a.attempt = seq++;
+      a.start_seconds = s.start_seconds;
+      a.end_seconds = s.end_seconds;
+      a.outcome = s.outcome;
+      a.morsel_begin = s.begin;
+      a.morsel_end = s.end;
+      a.prev_node = s.prev_node;
+      a.stolen = s.stolen;
+      run.attempts.push_back(a);
+      if (s.outcome != StatusCode::kOk) {
+        ++run.retries;
+        obs::flight::FlightRecorder::NoteFault(
+            s.node, static_cast<int64_t>(s.outcome));
+      }
+      if (s.prev_node >= 0 && s.prev_node != s.node && !s.stolen) {
+        reassigned[s.partition] = 1;  // claimed off a dead/departed node
+      }
+    }
+    for (int p = 0; p < nodes; ++p) {
+      if (reassigned[p]) ++run.reassigned_partitions;
+    }
+
+    // Per-worker accounting over the full membership (pool + joiners).
+    const int workers = static_cast<int>(sched.node_clock.size());
+    std::vector<int> n_segments(workers, 0);
+    std::vector<int> n_failed(workers, 0);
+    std::vector<int> n_stolen(workers, 0);
+    for (const MorselSegment& s : sched.segments) {
+      ++n_segments[s.node];
+      if (s.outcome != StatusCode::kOk) ++n_failed[s.node];
+      if (s.stolen && s.outcome == StatusCode::kOk) {
+        n_stolen[s.node] += s.end - s.begin;
+      }
+    }
+    int used = 0;
+    for (int n = 0; n < workers; ++n) {
+      if (n_segments[n] > 0) ++used;
+    }
+    run.nodes_used = used;
+    {
+      std::vector<std::map<std::string, double>> per_node(workers);
+      for (int n = 0; n < workers; ++n) {
+        per_node[n]["node.busy_s"] = sched.node_clock[n];
+        per_node[n]["node.spill_s"] = sched.node_spill[n];
+        per_node[n]["node.attempts"] = n_segments[n];
+        per_node[n]["node.failed_attempts"] = n_failed[n];
+        per_node[n]["node.stolen_morsels"] = n_stolen[n];
+        per_node[n]["node.dead"] = sched.alive[n] ? 0.0 : 1.0;
+      }
+      run.node_rollups = obs::AggregateNodeScalars(per_node);
+    }
+
+    finish_merge(&run);
+
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.counter("cluster.steal.count").Add(run.steals);
+    reg.counter("cluster.steal.stolen_morsels").Add(run.stolen_morsels);
+    reg.counter("cluster.ckpt.count").Add(run.checkpoints);
+    reg.counter("cluster.ckpt.bytes")
+        .Add(static_cast<int64_t>(run.checkpoint_bytes));
+    reg.counter("cluster.ckpt.recovered_morsels").Add(run.recovered_morsels);
+    if (run.joins > 0) reg.counter("cluster.resize.joins").Add(run.joins);
+    if (run.leaves > 0) reg.counter("cluster.resize.leaves").Add(run.leaves);
+    if (!plan.empty()) {
+      reg.counter("cluster.fault.attempts")
+          .Add(static_cast<int64_t>(run.attempts.size()));
+      reg.counter("cluster.fault.retries").Add(run.retries);
+      reg.counter("cluster.fault.reassigned_partitions")
+          .Add(run.reassigned_partitions);
+      reg.counter("cluster.fault.nodes_failed").Add(run.nodes_failed);
+    }
+    for (const StealRecord& sr : sched.steals) {
+      obs::flight::FlightRecorder::Record(
+          obs::flight::EventKind::kClusterSteal, 0, sr.thief,
+          (static_cast<int64_t>(sr.victim) << 32) | (sr.end - sr.begin));
+    }
+    for (const CheckpointRecord& ck : sched.checkpoints) {
+      obs::flight::FlightRecorder::Record(
+          obs::flight::EventKind::kClusterCkpt, 0, ck.node,
+          (static_cast<int64_t>(ck.partition) << 32) | ck.morsels);
+    }
+
+    if (traced) {
+      EmitFineTrace(q, run, plan, fin.morsels, sched.checkpoints, root_ctx);
+    }
+    if (elog.enabled()) {
+      elog.Record(obs::EventLevel::kInfo, "cluster", "run.complete",
+                  {{"q", q},
+                   {"total_s", run.total_seconds},
+                   {"steals", run.steals},
+                   {"ckpts", run.checkpoints},
+                   {"recovered_morsels", run.recovered_morsels},
+                   {"joins", run.joins},
+                   {"leaves", run.leaves},
+                   {"nodes_failed", run.nodes_failed}});
+    }
+    return run;
+  }
+
   // ---- Attempt schedule (modeled). Every partition retries on its home
   // node with capped exponential backoff, then reassigns to the surviving
   // node with the least accumulated work; crashes reassign immediately.
@@ -356,12 +802,19 @@ Result<DistributedRun> WimpiCluster::Run(int q,
       const double w = pe.work_s;
       const double deadline =
           std::max(opts_.min_timeout_s, opts_.timeout_factor * w);
+      // Jittered exponential backoff, capped: the jitter factor in
+      // [0.5, 1.5) is a pure hash of (plan seed, partition, attempt), so
+      // concurrent retries against a recovering node decorrelate while the
+      // whole schedule stays deterministic.
       const double backoff =
           attempt_idx == 0
               ? 0.0
               : std::min(opts_.retry_backoff_cap_s,
                          opts_.retry_backoff_s *
-                             std::pow(2.0, attempt_idx - 1));
+                             std::pow(2.0, attempt_idx - 1) *
+                             (0.5 + DeterministicJitter(
+                                        plan.seed, static_cast<uint64_t>(p),
+                                        static_cast<uint64_t>(attempt_idx))));
       // Degraded last resort: no alternative node, or the partition has
       // bounced long enough — accept a straggler run over the deadline.
       const bool last_resort =
@@ -427,6 +880,35 @@ Result<DistributedRun> WimpiCluster::Run(int q,
         done = true;
       } else {
         ++run.retries;
+        // Retry-budget guard: a run-wide cap on failed attempts so an
+        // adversarial plan (every node flaky, forever) exhausts
+        // deterministically instead of bouncing partitions for thousands
+        // of modeled attempts. Generated plans stay far under the default
+        // budget of 4 * max_retries * num_nodes.
+        const int budget = opts_.retry_budget > 0
+                               ? opts_.retry_budget
+                               : 4 * opts_.max_retries * pool_nodes;
+        if (run.retries > budget) {
+          obs::MetricsRegistry::Global()
+              .counter("cluster.retry.exhausted")
+              .Add(1);
+          cancel.Cancel();
+          if (elog.enabled()) {
+            elog.Record(
+                obs::EventLevel::kError, "cluster", "run.aborted",
+                {{"q", q},
+                 {"reason", std::string("retry budget exhausted")},
+                 {"budget", budget}});
+          }
+          std::string msg = "Q";
+          msg += std::to_string(q);
+          msg += ": retry budget (";
+          msg += std::to_string(budget);
+          msg += ") exhausted (plan: ";
+          msg += plan.ToString();
+          msg += ")";
+          return Status::Unavailable(std::move(msg));
+        }
         // Flight-recorder fault trigger: lands in the always-on rings
         // (and retroactively dumps the recent window when a fault dump
         // path is configured), so a service run disturbed by a simulated
@@ -479,40 +961,14 @@ Result<DistributedRun> WimpiCluster::Run(int q,
     }
   }
   double clean_max_node = 0;
-  std::vector<exec::Relation> partials;
-  partials.reserve(nodes);
   for (int p = 0; p < nodes; ++p) {
-    run.max_working_set_bytes =
-        std::max(run.max_working_set_bytes, parts[p].working_set);
-    run.network_bytes += scaled_bytes(parts[p].partial);
     clean_max_node = std::max(clean_max_node, parts[p].work_s);
-    partials.push_back(std::move(parts[p].partial));
   }
   // Faults only stretch local work; network, merge and overhead are
   // identical to the clean run, so the degradation is the node-time delta.
   run.degraded_seconds = run.max_node_seconds - clean_max_node;
 
-  // Network: every node ships its partial to the coordinator, whose
-  // receive link is the bottleneck.
-  run.network_seconds = fan_out ? NetworkSeconds(run.network_bytes, nodes)
-                                : 0.0;
-
-  // Merge on the coordinator (itself a Pi). Every merge in the distributed
-  // subset consumes per-node aggregates (at most tens of rows per node), so
-  // merge work does not scale with SF and is modeled unscaled.
-  exec::QueryStats merge_stats;
-  exec::Relation merged =
-      MergePartials(q, node_dbs_[0], std::move(partials), &merge_stats);
-  run.merge_seconds =
-      model.WorkSeconds(pi, merge_stats, opts_.threads_per_node);
-
-  // One query overhead (driver + plan setup) on the coordinator.
-  const double overhead_s =
-      model.QuerySeconds(pi, exec::QueryStats{}, 1);
-
-  run.total_seconds = overhead_s + run.max_node_seconds +
-                      run.network_seconds + run.merge_seconds;
-  run.result = std::move(merged);
+  finish_merge(&run);
 
   // Per-node scalar rollups (straggler diagnosis): min/max/sum/mean/skew
   // of each node's modeled load. Derived from modeled quantities only, so

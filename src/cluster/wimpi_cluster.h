@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/fault.h"
+#include "cluster/recovery.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "exec/relation.h"
@@ -51,6 +52,21 @@ struct ClusterOptions {
   // seconds under the cost model, floored at min_timeout_s.
   double timeout_factor = 4.0;
   double min_timeout_s = 0.01;
+  // Total failed attempts tolerated across the whole run before Run()
+  // stops retrying and returns kUnavailable (surfaced through the
+  // cluster.retry.exhausted counter). 0 derives the default budget,
+  // 4 * max_retries * num_nodes — generous enough that every generated
+  // FaultPlan converges, tight enough that an adversarial plan exhausts
+  // deterministically instead of spinning.
+  int retry_budget = 0;
+
+  // ---- fine-grained recovery (DESIGN.md §14) ----
+  // kRetry (the default) keeps the whole-partition schedule above;
+  // kFineGrained executes morsel ranges with checkpointed partials,
+  // cross-node stealing, and elastic membership.
+  RecoveryOptions recovery;
+  // Membership changes during the run (fine-grained mode only).
+  ResizePlan resize;
 };
 
 // One scheduling attempt of a lineitem partition on a node, in modeled
@@ -64,6 +80,15 @@ struct AttemptRecord {
   double start_seconds = 0;
   double end_seconds = 0;
   StatusCode outcome = StatusCode::kOk;
+  // Steal provenance (fine-grained recovery only; retry-mode attempts
+  // cover the whole partition and leave morsel_end at 0). The attempt
+  // executed morsels [morsel_begin, morsel_end); prev_node is where the
+  // range came from (-1 = initial assignment), stolen says whether it was
+  // taken from a live victim rather than reassigned from a dead one.
+  int morsel_begin = 0;
+  int morsel_end = 0;
+  int prev_node = -1;
+  bool stolen = false;
 };
 
 // Per-query result of a simulated distributed execution.
@@ -88,6 +113,17 @@ struct DistributedRun {
   // Per-attempt timeline in partition order (one kOk entry per partition
   // on a clean run).
   std::vector<AttemptRecord> attempts;
+
+  // ---- fine-grained recovery accounting (kFineGrained runs only) ----
+  int total_morsels = 0;      // sum of per-partition morsel counts
+  int steals = 0;             // cross-node steal operations
+  int stolen_morsels = 0;     // morsels executed away from their assignee
+  int checkpoints = 0;        // merge-ready chunks published
+  double checkpoint_bytes = 0;
+  int recovered_morsels = 0;  // executed-but-lost morsels re-executed
+  int joins = 0;              // nodes that joined mid-run
+  int leaves = 0;             // nodes that left gracefully mid-run
+  std::vector<StealRecord> steal_log;
 
   // ---- telemetry (populated only while the trace sink is enabled) ----
   // Id of the distributed trace this run exported: the modeled span tree

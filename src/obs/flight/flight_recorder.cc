@@ -54,6 +54,10 @@ const char* EventKindName(EventKind kind) {
       return "pool.task";
     case EventKind::kClusterFault:
       return "cluster.fault";
+    case EventKind::kClusterSteal:
+      return "cluster.steal";
+    case EventKind::kClusterCkpt:
+      return "cluster.ckpt";
   }
   return "unknown";
 }
@@ -181,7 +185,7 @@ void FlightRecorder::AppendRingEvents(const Ring& ring, int64_t since_us,
     // the enum are impossible for a complete record — drop them.
     if (e.ts_us <= 0 || e.ts_us > now) continue;
     if ((ka >> 32) < 1 ||
-        (ka >> 32) > static_cast<uint64_t>(EventKind::kClusterFault)) {
+        (ka >> 32) > static_cast<uint64_t>(EventKind::kClusterCkpt)) {
       continue;
     }
     if (e.ts_us < since_us) continue;

@@ -48,6 +48,8 @@ enum class EventKind : uint32_t {
   kMorselBatch = 9,   // a = morsel index, b = rows
   kPoolTask = 10,     // a = worker index
   kClusterFault = 11, // a = node id, b = fault detail
+  kClusterSteal = 12, // a = thief node, b = victim node << 32 | morsels
+  kClusterCkpt = 13,  // a = node id, b = partition << 32 | morsels
 };
 
 const char* EventKindName(EventKind kind);

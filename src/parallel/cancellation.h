@@ -2,6 +2,7 @@
 #define WIMPI_PARALLEL_CANCELLATION_H_
 
 #include <atomic>
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -43,6 +44,27 @@ class TaskError : public std::runtime_error {
  public:
   explicit TaskError(const std::string& what) : std::runtime_error(what) {}
 };
+
+// Rethrows a captured worker failure as an exception owned solely by the
+// calling thread. The object inside `error` may still be referenced by
+// pool workers that have not yet dropped their copy of the shared
+// loop/graph state; rethrowing it directly lets whichever side releases
+// the last reference delete the object — on a worker, concurrently with
+// the caller reading what(), through the runtime's exception refcounting,
+// which synchronizes outside the memory model tools can see. Escaping a
+// fresh copy keeps the exception's lifetime on the caller's side of the
+// pool boundary.
+[[noreturn]] inline void RethrowDetached(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const TaskError& e) {
+    throw TaskError(e.what());
+  } catch (const std::exception& e) {
+    throw TaskError(e.what());
+  }
+  // Unreachable: capture sites wrap every foreign exception in a
+  // TaskError, so the handlers above are exhaustive.
+}
 
 }  // namespace wimpi::parallel
 

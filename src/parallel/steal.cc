@@ -1,0 +1,41 @@
+#include "parallel/steal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wimpi::parallel {
+
+int MorselCountForRows(int64_t rows, double sf_scale, int64_t rows_per_morsel,
+                       int max_morsels) {
+  if (rows <= 0 || rows_per_morsel <= 0) return 1;
+  const double scaled = static_cast<double>(rows) * sf_scale;
+  const double count = std::ceil(scaled / static_cast<double>(rows_per_morsel));
+  if (count <= 1.0) return 1;
+  if (count >= static_cast<double>(max_morsels)) return max_morsels;
+  return static_cast<int>(count);
+}
+
+MorselRange StealHalf(MorselRange* victim, int min_steal) {
+  if (victim->size() < std::max(1, min_steal)) return MorselRange{};
+  // Victim keeps the first half, rounded up: it is already executing from
+  // `begin`, so the thief takes the furthest-away tail.
+  const int mid = victim->begin + (victim->size() + 1) / 2;
+  MorselRange stolen{mid, victim->end};
+  victim->end = mid;
+  return stolen;
+}
+
+int PickVictim(const std::vector<VictimLoad>& loads, int thief,
+               int min_steal) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(loads.size()); ++i) {
+    if (i == thief) continue;
+    if (loads[i].stealable_morsels < std::max(1, min_steal)) continue;
+    if (best < 0 || loads[i].remaining_work > loads[best].remaining_work) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace wimpi::parallel

@@ -1,0 +1,57 @@
+#ifndef WIMPI_PARALLEL_STEAL_H_
+#define WIMPI_PARALLEL_STEAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wimpi::parallel {
+
+// Stealable morsel ranges: the shared vocabulary between the intra-node
+// morsel scheduler (64K-row morsels, task_scheduler.h) and the cluster's
+// fine-grained recovery driver (cluster/recovery.h). A range is a
+// half-open interval of morsel indices inside one partition's morsel
+// space; the steal protocol operates on un-started tails only, so an
+// executing owner's completed prefix is never disturbed.
+//
+// Everything here is pure integer/double math with a fixed tie-break
+// order — the determinism rule that lets any steal schedule reproduce
+// bit-identical answers (the work moves; the data and the merge order do
+// not).
+struct MorselRange {
+  int begin = 0;
+  int end = 0;  // exclusive
+
+  int size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+// Deterministic morsel count for a partition holding `rows` physical rows
+// scaled by `sf_scale` (model SF / physical SF), at `rows_per_morsel`
+// (the engine's 64K-row convention) — clamped to [1, max_morsels] so the
+// modeled schedule stays cheap at SF 100-class scale factors.
+int MorselCountForRows(int64_t rows, double sf_scale, int64_t rows_per_morsel,
+                       int max_morsels);
+
+// The steal primitive: splits the un-started tail off `*victim` and
+// returns it. The victim keeps the first half (rounded up, so it always
+// retains at least as much as the thief takes and never goes empty).
+// Returns an empty range — and leaves `*victim` untouched — when fewer
+// than `min_steal` morsels remain.
+MorselRange StealHalf(MorselRange* victim, int min_steal);
+
+// One candidate victim's load as the steal protocol sees it.
+struct VictimLoad {
+  double remaining_work = 0;  // modeled seconds left in its queue
+  int stealable_morsels = 0;  // un-started morsels a thief could take
+};
+
+// Fixed victim order: the index with the most remaining modeled work
+// among entries with at least `min_steal` stealable morsels, lowest index
+// on ties; `thief` itself is never selected. Returns -1 when nothing is
+// worth stealing.
+int PickVictim(const std::vector<VictimLoad>& loads, int thief,
+               int min_steal);
+
+}  // namespace wimpi::parallel
+
+#endif  // WIMPI_PARALLEL_STEAL_H_

@@ -221,7 +221,9 @@ void TaskScheduler::RunTaskGraph(
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->finished >= n; });
-  if (state->error) std::rethrow_exception(state->error);
+  // Detached copy: submitted chains may still hold `state` (and through it
+  // the captured exception) until the pool recycles them.
+  if (state->error) RethrowDetached(state->error);
 }
 
 }  // namespace wimpi::parallel

@@ -231,7 +231,9 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
   {
     std::unique_lock<std::mutex> lock(state->mu);
     state->done_cv.wait(lock, [&] { return state->done >= n; });
-    if (state->error) std::rethrow_exception(state->error);
+    // Detached copy: helper tasks may still hold `state` (and through it
+    // the captured exception) until the pool recycles them.
+    if (state->error) RethrowDetached(state->error);
   }
 }
 

@@ -19,6 +19,7 @@
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "parallel/cancellation.h"
+#include "parallel/steal.h"
 #include "parallel/task_scheduler.h"
 #include "parallel/thread_pool.h"
 #include "storage/column.h"
@@ -570,6 +571,58 @@ TEST(ParallelOperatorsTest, PlannedThreadsGates) {
     EXPECT_EQ(nested, 1);
   }
   EXPECT_EQ(exec::PlannedThreads(1 << 20), 1);
+}
+
+TEST(StealPrimitivesTest, MorselCountForRowsBounds) {
+  using parallel::MorselCountForRows;
+  // Degenerate inputs collapse to one morsel.
+  EXPECT_EQ(MorselCountForRows(0, 1.0, 1024, 256), 1);
+  EXPECT_EQ(MorselCountForRows(-5, 1.0, 1024, 256), 1);
+  EXPECT_EQ(MorselCountForRows(100, 1.0, 0, 256), 1);
+  // Exact and ceiling division at the model scale.
+  EXPECT_EQ(MorselCountForRows(2048, 1.0, 1024, 256), 2);
+  EXPECT_EQ(MorselCountForRows(2049, 1.0, 1024, 256), 3);
+  // The SF scale multiplies the logical row count.
+  EXPECT_EQ(MorselCountForRows(1024, 4.0, 1024, 256), 4);
+  // Cap: SF-100-class partitions stay cheap to model.
+  EXPECT_EQ(MorselCountForRows(1 << 30, 10.0, 1024, 256), 256);
+}
+
+TEST(StealPrimitivesTest, StealHalfSplitsAndRespectsMinimum) {
+  using parallel::MorselRange;
+  using parallel::StealHalf;
+  // Victim keeps the first half rounded up; thief takes the tail.
+  MorselRange v{0, 10};
+  const MorselRange stolen = StealHalf(&v, 2);
+  EXPECT_EQ(v.begin, 0);
+  EXPECT_EQ(v.end, 5);
+  EXPECT_EQ(stolen.begin, 5);
+  EXPECT_EQ(stolen.end, 10);
+  // Odd sizes: victim keeps the extra morsel.
+  MorselRange odd{4, 9};
+  const MorselRange tail = StealHalf(&odd, 2);
+  EXPECT_EQ(odd.end, 7);
+  EXPECT_EQ(tail.begin, 7);
+  EXPECT_EQ(tail.end, 9);
+  // Below the minimum nothing moves.
+  MorselRange tiny{0, 1};
+  EXPECT_TRUE(StealHalf(&tiny, 2).empty());
+  EXPECT_EQ(tiny.size(), 1);
+}
+
+TEST(StealPrimitivesTest, PickVictimPrefersMostLoaded) {
+  using parallel::PickVictim;
+  using parallel::VictimLoad;
+  const std::vector<VictimLoad> loads = {
+      {1.0, 4}, {5.0, 8}, {5.0, 8}, {0.5, 1}};
+  // Most remaining work wins; ties break to the lowest index.
+  EXPECT_EQ(PickVictim(loads, 0, 2), 1);
+  // A thief never robs itself.
+  EXPECT_EQ(PickVictim(loads, 1, 2), 2);
+  // Victims below the min-steal threshold are skipped (index 3).
+  EXPECT_EQ(PickVictim({{9.0, 1}, {1.0, 4}}, 2, 2), 1);
+  // Nothing worth stealing.
+  EXPECT_EQ(PickVictim({{9.0, 1}, {1.0, 0}}, 2, 2), -1);
 }
 
 }  // namespace

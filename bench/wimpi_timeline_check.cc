@@ -1,0 +1,185 @@
+// Validates a bench_timeline --dump file: the CI gate for the roofline
+// timeline (ISSUE #10).
+//
+// Structural checks:
+//   * the dump parses line-by-line and starts with a meta line carrying
+//     the host roofline (peak GB/s);
+//   * timestamps are monotone: every interval has t1 >= t0 and starts at
+//     or after the previous interval of the same timeline block;
+//   * every measured bandwidth sample respects physics: interval GB/s
+//     never exceeds the host's peak x --bw-tol (a sampler computing
+//     impossible bandwidth has broken counter differencing).
+// Claim checks:
+//   * each query listed in --require-q (default "1,6" — the paper's
+//     memory-bound poster children) has a summary line whose modeled
+//     class is known (the cost model must commit to a verdict);
+//   * across summaries where the measured class is known, it matches the
+//     modeled class on at least --agree-floor of them; same floor applied
+//     to the per-pipeline agree/disagree tallies. On hosts without a PMU
+//     the measured side is "unknown" and the floor is vacuously met —
+//     the structural checks above still run on the degraded timeline.
+//
+// Exits nonzero with a [timeline-check] message on the first violation.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/json.h"
+
+namespace {
+
+using wimpi::JsonValue;
+
+bool Fail(const std::string& msg) {
+  std::fprintf(stderr, "[timeline-check] FAIL: %s\n", msg.c_str());
+  return false;
+}
+
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+struct Summary {
+  std::string modeled = "unknown";
+  std::string measured = "unknown";
+  int agree = 0;
+  int disagree = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const wimpi::CommandLine cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: wimpi_timeline_check <dump.jsonl> [--bw-tol F] "
+                 "[--agree-floor F] [--require-q 1,6]\n");
+    return 2;
+  }
+  const std::string path = cli.positional()[0];
+  const double bw_tol = cli.GetDouble("bw-tol", 1.5);
+  const double agree_floor = cli.GetDouble("agree-floor", 0.5);
+  const std::vector<int> require_q =
+      ParseIntList(cli.GetString("require-q", "1,6"));
+
+  std::ifstream in(path);
+  if (!in) return !Fail("cannot read " + path);
+
+  double peak_gbps = -1;
+  bool have_meta = false;
+  int headers = 0, intervals = 0;
+  int64_t prev_t1 = 0;  // reset at each timeline header
+  std::map<int, Summary> summaries;
+
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++n;
+    JsonValue doc;
+    std::string error;
+    if (!JsonValue::Parse(line, &doc, &error)) {
+      return !Fail(path + " line " + std::to_string(n) +
+                   " does not parse: " + error);
+    }
+    const std::string type = doc.GetString("type", "");
+    if (type == "meta") {
+      have_meta = true;
+      peak_gbps = doc.GetDouble("peak_gbps", -1);
+      if (peak_gbps <= 0) return !Fail("meta line has no positive peak_gbps");
+    } else if (type == "summary") {
+      if (!have_meta) return !Fail("summary before meta line");
+      const int q = static_cast<int>(doc.GetDouble("q", -1));
+      if (q < 1) return !Fail("summary line without query number");
+      Summary& s = summaries[q];
+      s.modeled = doc.GetString("modeled", "unknown");
+      s.measured = doc.GetString("measured", "unknown");
+      s.agree = static_cast<int>(doc.GetDouble("agree", 0));
+      s.disagree = static_cast<int>(doc.GetDouble("disagree", 0));
+    } else if (type == "header") {
+      ++headers;
+      prev_t1 = 0;
+      const double start = doc.GetDouble("start_us", 0);
+      const double end = doc.GetDouble("end_us", 0);
+      if (end < start) {
+        return !Fail("line " + std::to_string(n) +
+                     ": timeline header runs backwards");
+      }
+    } else if (type == "interval") {
+      ++intervals;
+      const int64_t t0 = static_cast<int64_t>(doc.GetDouble("t0_us", 0));
+      const int64_t t1 = static_cast<int64_t>(doc.GetDouble("t1_us", 0));
+      if (t1 < t0) {
+        return !Fail("line " + std::to_string(n) + ": interval [" +
+                     std::to_string(t0) + ", " + std::to_string(t1) +
+                     "] runs backwards");
+      }
+      if (t0 < prev_t1) {
+        return !Fail("line " + std::to_string(n) +
+                     ": interval starts before the previous one ended "
+                     "(non-monotone timestamps)");
+      }
+      prev_t1 = t1;
+      const JsonValue* g = doc.Find("gbps");
+      if (g != nullptr) {
+        const double gbps = g->AsDouble();
+        if (gbps < 0 || gbps > peak_gbps * bw_tol) {
+          return !Fail("line " + std::to_string(n) + ": " +
+                       std::to_string(gbps) + " GB/s is outside [0, peak " +
+                       std::to_string(peak_gbps) + " x " +
+                       std::to_string(bw_tol) + "]");
+        }
+      }
+    }
+  }
+
+  if (!have_meta) return !Fail(path + " has no meta line");
+  for (const int q : require_q) {
+    const auto it = summaries.find(q);
+    if (it == summaries.end()) {
+      return !Fail("required query Q" + std::to_string(q) +
+                   " has no summary line");
+    }
+    if (it->second.modeled == "unknown") {
+      return !Fail("Q" + std::to_string(q) +
+                   ": cost model did not commit to a bound class");
+    }
+  }
+  int known = 0, matched = 0, agree = 0, disagree = 0;
+  for (const auto& [q, s] : summaries) {
+    (void)q;
+    agree += s.agree;
+    disagree += s.disagree;
+    if (s.measured == "unknown") continue;
+    ++known;
+    if (s.measured == s.modeled) ++matched;
+  }
+  if (known > 0 &&
+      static_cast<double>(matched) / known < agree_floor) {
+    return !Fail("measured bound class agrees with the model on only " +
+                 std::to_string(matched) + "/" + std::to_string(known) +
+                 " queries (floor " + std::to_string(agree_floor) + ")");
+  }
+  if (agree + disagree > 0 &&
+      static_cast<double>(agree) / (agree + disagree) < agree_floor) {
+    return !Fail("per-pipeline agreement " + std::to_string(agree) + "/" +
+                 std::to_string(agree + disagree) + " is below the floor");
+  }
+
+  std::fprintf(stderr,
+               "[timeline-check] %s OK: %zu summar(ies), %d timeline(s), "
+               "%d interval(s), %d measured-class quer(ies)\n",
+               path.c_str(), summaries.size(), headers, intervals, known);
+  return 0;
+}

@@ -17,7 +17,7 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 cmake --build "${build_dir}" \
   --target parallel_test parallel_queries_test obs_test obs_queries_test \
            obs_perf_test obs_export_test memory_tracker_test fault_test \
-           service_test flight_test stats_test -j
+           service_test flight_test stats_test timeline_test -j
 
 # halt_on_error so the first race fails fast with a nonzero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -52,5 +52,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Column statistics: the morsel-parallel BuildTableStats shard merge, and
 # the registry's shared_mutex paths (concurrent Collect + estimation).
 "${build_dir}/tests/stats_test"
+# Roofline timeline: the sampler thread reading seqlock lane-activity
+# slots and pool metrics while morsel workers run, and sampler start/stop
+# racing query execution and service teardown.
+"${build_dir}/tests/timeline_test"
 
 echo "TSan parallel + obs test pass: OK"

@@ -16,26 +16,31 @@
 # recovery: answers must stay bit-identical, every recovery mechanism must
 # be exercised, the fine-grained tail must dominate retry-only, counters
 # gated against the committed baseline, one traced scenario validated by
-# wimpi_trace_check), then the sanitizer passes (TSan over the parallel +
-# service + observability + fault + stats tests, ASan over everything).
-# Each stage fails the script on the first error.
+# wimpi_trace_check), a roofline-timeline stage (all 22 queries with the
+# sampler attached: answers bit-identical, modeled bound-class rows gated
+# against the committed baseline, sampling must not move mean latency, and
+# the dump must pass wimpi_timeline_check), then the sanitizer passes
+# (TSan over the parallel + service + observability + fault + stats +
+# timeline tests, ASan over everything). Each stage fails the script on
+# the first error.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 #   WIMPI_CI_SKIP_SANITIZERS=1 scripts/ci.sh   # skip TSan/ASan stages
 #   WIMPI_CI_SKIP_BENCH=1 scripts/ci.sh        # skip the bench-smoke gate
 #   WIMPI_CI_FLIGHT_TOL=0.15 scripts/ci.sh     # flight-overhead gate (frac)
+#   WIMPI_CI_TIMELINE_TOL=0.25 scripts/ci.sh   # sampler-overhead gate (frac)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-echo "=== [1/10] build + tests ==="
+echo "=== [1/11] build + tests ==="
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure
 
 if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "=== [2/10] bench smoke + artifact regression gate ==="
+  echo "=== [2/11] bench smoke + artifact regression gate ==="
   # Small physical SF keeps this a smoke run; the gated rows are modeled
   # runtimes (deterministic: fixed dbgen seed x Table I profiles), so a
   # committed baseline is stable across hosts. Wall times in the artifact
@@ -46,7 +51,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table2_sf1.json" "${artifact}"
 
-  echo "=== [3/10] fault-injection smoke + regression gate ==="
+  echo "=== [3/11] fault-injection smoke + regression gate ==="
   # Same idea under a fixed fault seed: the degraded-mode runtimes and
   # recovery counters are pure functions of (dbgen seed, cost model, fault
   # seed), so they regress against a committed baseline like clean runs.
@@ -56,7 +61,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_table3_faults.json" "${fault_artifact}"
 
-  echo "=== [4/10] traced fault run + trace structure gate ==="
+  echo "=== [4/11] traced fault run + trace structure gate ==="
   # Re-run the same fault scenario with telemetry on and validate the
   # export: one coherent span tree (every retry parented to the attempt it
   # retried, every fault flow-linked to the retry it caused) and a
@@ -70,7 +75,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_trace_check" "${trace_file}" \
     --events "${events_file}"
 
-  echo "=== [5/10] throughput smoke + regression gate ==="
+  echo "=== [5/11] throughput smoke + regression gate ==="
   # Concurrent streams through the query service: the bench itself exits
   # nonzero on any answer differing from isolated execution or on a peak
   # reservation above the budget; the gated artifact rows (counts, per-
@@ -83,7 +88,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     "${repo_root}/bench/baselines/BENCH_throughput.json" \
     "${throughput_artifact}"
 
-  echo "=== [6/10] flight recorder + SLO gate ==="
+  echo "=== [6/11] flight recorder + SLO gate ==="
   # Run the throughput bench with a deliberately tight SLO and one injected
   # straggler query per lap: every lap must trip a tail-based trigger, so
   # the run must leave behind flight dumps (base path + ".1", ...), a
@@ -122,7 +127,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
     "${flight_off}" "${flight_on}" \
     --only mean_latency --wall-tol "${flight_tol}"
 
-  echo "=== [7/10] plan-quality smoke + Q-error gate ==="
+  echo "=== [7/11] plan-quality smoke + Q-error gate ==="
   # All 22 queries twice: seed path, then with column statistics collected
   # and the cardinality estimator installed. The bench exits nonzero if
   # any answer changes. The artifact rows (per-query Q-error residuals,
@@ -135,7 +140,7 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_stats_check" "${stats_artifact}" \
     --baseline "${repo_root}/bench/baselines/BENCH_stats.json"
 
-  echo "=== [8/10] chaos soak + recovery gate ==="
+  echo "=== [8/11] chaos soak + recovery gate ==="
   # 200 SF-1 seeds plus an SF-10 subset through fine-grained recovery
   # (pinned sweep: seed-derived fault plans, resize on even seeds, steal
   # disabled every seventh). The bench exits nonzero on any checksum
@@ -155,15 +160,49 @@ if [[ "${WIMPI_CI_SKIP_BENCH:-0}" != "1" ]]; then
   "${build_dir}/bench/wimpi_bench_compare" \
     "${repo_root}/bench/baselines/BENCH_chaos.json" "${chaos_artifact}"
   "${build_dir}/bench/wimpi_trace_check" "${chaos_trace}"
+
+  echo "=== [9/11] roofline timeline + sampler overhead gate ==="
+  # All 22 queries with the roofline sampler attached. The bench itself
+  # exits nonzero if any sampled lap's answer checksum differs from the
+  # first lap. Gated artifact rows are answer checksums plus modeled
+  # bound-class verdicts on the fixed Table I profiles (pure functions of
+  # the dbgen seed and cost model); measured GB/s / IPC live only in the
+  # dump, which wimpi_timeline_check validates structurally (monotone
+  # interval timestamps, bandwidth within the host roofline, Q1/Q6
+  # classified, measured-vs-modeled agreement where the host PMU exposes
+  # counters). Deliberately NOT run with WIMPI_PERF_DISABLE=1: that
+  # variable force-disables the sampler this stage exists to exercise.
+  timeline_tol="${WIMPI_CI_TIMELINE_TOL:-0.25}"
+  timeline_off="${build_dir}/BENCH_timeline_off.json"
+  timeline_on="${build_dir}/BENCH_timeline.json"
+  timeline_dump="${build_dir}/BENCH_timeline.dump.jsonl"
+  "${build_dir}/bench/bench_timeline" \
+    --physical-sf 0.01 --laps 7 --off --json "${timeline_off}" > /dev/null
+  "${build_dir}/bench/bench_timeline" \
+    --physical-sf 0.01 --laps 7 --json "${timeline_on}" \
+    --dump "${timeline_dump}" > /dev/null
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${repo_root}/bench/baselines/BENCH_timeline.json" "${timeline_on}"
+  # Overhead gate: sampling must not move mean latency (A/B, sampler off
+  # vs on, same workload; 7 laps so the mean is stable enough to gate).
+  # The design budget is <= 2% when the sampler thread has a spare
+  # hardware thread to ride (any multi-core host, including the Pi-class
+  # targets). The default tolerance is wider because on a single-CPU CI
+  # VM every 1 kHz sampler wakeup preempts the only core, so the A/B
+  # measures context-switch pressure, not per-sample cost.
+  "${build_dir}/bench/wimpi_bench_compare" \
+    "${timeline_off}" "${timeline_on}" \
+    --only mean_latency --wall-tol "${timeline_tol}"
+  "${build_dir}/bench/wimpi_timeline_check" "${timeline_dump}"
 else
   echo "=== bench stages skipped (WIMPI_CI_SKIP_BENCH=1) ==="
 fi
 
 if [[ "${WIMPI_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "=== [9/10] ThreadSanitizer (parallel + service + obs + faults) ==="
+  echo "=== [10/11] ThreadSanitizer (parallel + service + obs + faults) ==="
   "${repo_root}/scripts/check_tsan.sh"
 
-  echo "=== [10/10] AddressSanitizer (full suite) ==="
+  echo "=== [11/11] AddressSanitizer (full suite) ==="
   "${repo_root}/scripts/check_asan.sh"
 else
   echo "=== sanitizer stages skipped (WIMPI_CI_SKIP_SANITIZERS=1) ==="

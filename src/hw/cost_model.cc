@@ -20,8 +20,9 @@ double CostModel::ComputeScale(const HardwareProfile& hw, int threads) const {
   return scale;
 }
 
-double CostModel::OpSeconds(const HardwareProfile& hw,
-                            const exec::OpStats& op, int threads) const {
+CostModel::OpRoofs CostModel::OpRoofline(const HardwareProfile& hw,
+                                         const exec::OpStats& op,
+                                         int threads) const {
   if (threads <= 0) threads = hw.threads;
   const double scale = ComputeScale(hw, threads);
   const double par = std::clamp(op.parallel_fraction, 0.0, 1.0);
@@ -56,7 +57,27 @@ double CostModel::OpSeconds(const HardwareProfile& hw,
     rand_s = op.rand_count * lat_ns * 1e-9 / effective_lanes;
   }
 
-  return std::max(compute_s, seq_s) + rand_s;
+  return {compute_s, seq_s, rand_s};
+}
+
+double CostModel::OpSeconds(const HardwareProfile& hw,
+                            const exec::OpStats& op, int threads) const {
+  const OpRoofs roofs = OpRoofline(hw, op, threads);
+  return std::max(roofs.compute_s, roofs.seq_s) + roofs.rand_s;
+}
+
+double CostModel::BandwidthBoundFraction(const HardwareProfile& hw,
+                                         const exec::QueryStats& s,
+                                         int threads) const {
+  double total = 0;
+  double bandwidth = 0;
+  for (const auto& op : s.ops) {
+    const OpRoofs roofs = OpRoofline(hw, op, threads);
+    const double sec = std::max(roofs.compute_s, roofs.seq_s) + roofs.rand_s;
+    total += sec;
+    if (roofs.BandwidthBound()) bandwidth += sec;
+  }
+  return total > 0 ? bandwidth / total : 0;
 }
 
 double CostModel::WorkSeconds(const HardwareProfile& hw,

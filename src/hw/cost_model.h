@@ -59,10 +59,31 @@ class CostModel {
 
   const CostModelOptions& options() const { return opts_; }
 
+  // The three roofs one operator sits under (OpSeconds returns
+  // max(compute_s, seq_s) + rand_s). Exposed so callers can ask not just
+  // how long an operator takes but *which wall it hits* — the modeled side
+  // of the timeline's live bound-classification.
+  struct OpRoofs {
+    double compute_s = 0;
+    double seq_s = 0;
+    double rand_s = 0;
+    // Bandwidth-bound: the sequential-memory roof dominates compute.
+    bool BandwidthBound() const { return seq_s >= compute_s; }
+  };
+  OpRoofs OpRoofline(const HardwareProfile& hw, const exec::OpStats& op,
+                     int threads = -1) const;
+
   // Simulated seconds for one operator on `hw` using `threads` threads
   // (threads <= 0 means all available).
   double OpSeconds(const HardwareProfile& hw, const exec::OpStats& op,
                    int threads = -1) const;
+
+  // Seconds-weighted fraction of a query's modeled operator time spent
+  // under the bandwidth roof. > 0.5 means the query as a whole is modeled
+  // bandwidth-bound on `hw` (the paper's memory-wall claim, per query).
+  double BandwidthBoundFraction(const HardwareProfile& hw,
+                                const exec::QueryStats& s,
+                                int threads = -1) const;
 
   // Simulated seconds for a whole query (sums operators, adds the fixed
   // per-query overhead).

@@ -43,6 +43,24 @@ struct HardwareProfile {
   double mem_latency_ns = 90;      // random access, memory resident
   double llc_latency_ns = 15;      // random access, LLC resident
 
+  // Fraction of achievable mixed read/write bandwidth above which the
+  // timeline sampler's roofline classification counts an interval as
+  // bandwidth-saturated (obs/timeline/roofline.h). 0.6 is the knee of a
+  // typical closed-loop stream curve: beyond it, extra threads add queuing
+  // latency, not throughput.
+  double bw_saturation_frac = 0.6;
+
+  // Achievable mixed read/write sequential bandwidth with every core
+  // streaming, and the saturation threshold derived from it. The 0.45
+  // stream efficiency matches CostModelOptions::stream_efficiency: both
+  // describe the same gap between sysbench-style peak and operator traffic.
+  double AchievableBwGbps(double stream_efficiency = 0.45) const {
+    return mem_bw_all_gbps * stream_efficiency;
+  }
+  double SaturationGbps(double stream_efficiency = 0.45) const {
+    return AchievableBwGbps(stream_efficiency) * bw_saturation_frac;
+  }
+
   // Economics; < 0 means "not public", matching the '-' cells in Table I.
   double msrp_usd = -1;   // per-socket CPU MSRP
   int sockets = 1;        // on-prem machines are dual socket

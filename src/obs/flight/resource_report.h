@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "obs/timeline/timeline.h"
+
 namespace wimpi::obs::flight {
 
 // Per-query resource accounting, attached to every QueryTicket and
@@ -27,6 +29,14 @@ struct QueryResourceReport {
   double bytes_scanned = 0;   // QueryStats sequential bytes
   double mem_peak_bytes = 0;  // QueryStats peak intermediates
   int threads = 0;            // thread budget the query ran with
+
+  // When the timeline sampler was running while this query executed, its
+  // submit->finish slice of the sampled series rides along (bandwidth /
+  // IPC / occupancy over time — see obs/timeline/). The copy the
+  // slow-query log keeps omits it: log entries stay small, the full
+  // series lands in the flight dump's .timeline.jsonl sidecar instead.
+  bool timeline_valid = false;
+  timeline::QueryTimeline timeline;
 };
 
 }  // namespace wimpi::obs::flight

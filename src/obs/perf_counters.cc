@@ -21,11 +21,6 @@ const char* const kEventNames[PerfCounts::kNumEvents] = {
     "llc_misses",    "branch_misses", "task_clock_ns",
 };
 
-bool PerfDisabledByEnv() {
-  const char* env = std::getenv("WIMPI_PERF_DISABLE");
-  return env != nullptr && env[0] == '1';
-}
-
 std::string HumanCount(double v) {
   char buf[32];
   if (v >= 1e9) {
@@ -44,6 +39,11 @@ std::string HumanCount(double v) {
 
 const char* PerfEventName(PerfEvent e) {
   return kEventNames[static_cast<int>(e)];
+}
+
+bool PerfDisabledByEnv() {
+  const char* env = std::getenv("WIMPI_PERF_DISABLE");
+  return env != nullptr && env[0] == '1';
 }
 
 bool PerfCounts::AnyAvailable() const {

@@ -34,6 +34,11 @@ enum class PerfEvent : int {
 // Short stable name, e.g. "cycles", "llc_misses", "task_clock_ns".
 const char* PerfEventName(PerfEvent e);
 
+// True when WIMPI_PERF_DISABLE=1 is set (README env-var table): counters
+// refuse to open AND the timeline sampler refuses to start, so runs pinned
+// by that variable are deterministic and sampler-free.
+bool PerfDisabledByEnv();
+
 // One sample (or delta) of the counter set. -1 = event unavailable.
 struct PerfCounts {
   static constexpr int kNumEvents = static_cast<int>(PerfEvent::kCount);
@@ -93,7 +98,12 @@ class PerfCounters {
   int num_events_open() const { return n_open_; }
   const std::string& error() const { return error_; }
 
-  // Current totals since Open(). Unavailable events read -1.
+  // Current totals since Open(). Non-destructive mid-flight read: the fds
+  // are read without reset or disable, so callers may sample while the
+  // measured region is still running (the timeline sampler does, every
+  // tick) and a later Read() continues from the same baseline. Any thread
+  // may call it — the fd aggregates the opener's thread tree regardless of
+  // who reads. Unavailable events read -1.
   PerfCounts Read() const;
 
   void Close();

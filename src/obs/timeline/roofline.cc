@@ -1,0 +1,209 @@
+#include "obs/timeline/roofline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace wimpi::obs::timeline {
+
+const char* BoundClassName(BoundClass c) {
+  switch (c) {
+    case BoundClass::kBandwidth:
+      return "bandwidth";
+    case BoundClass::kCompute:
+      return "compute";
+    default:
+      return "unknown";
+  }
+}
+
+BoundClass BoundClassFromName(const std::string& name) {
+  if (name == "bandwidth") return BoundClass::kBandwidth;
+  if (name == "compute") return BoundClass::kCompute;
+  return BoundClass::kUnknown;
+}
+
+RooflineSpec RooflineSpec::FromProfile(const hw::HardwareProfile& hw,
+                                       int threads,
+                                       const hw::CostModel& model) {
+  const double eff = model.options().stream_efficiency;
+  RooflineSpec spec;
+  spec.profile = hw.name;
+  spec.peak_gbps = hw.mem_bw_all_gbps;
+  spec.achievable_gbps = hw.AchievableBwGbps(eff);
+  spec.saturation_gbps = hw.SaturationGbps(eff);
+  // Interpreter-code instruction rate at this thread count. OLAP operators
+  // retire a handful of instructions per abstract work unit; the absolute
+  // calibration matters less than the ridge it induces being stable.
+  spec.peak_instr_per_sec =
+      hw.DbSingleCoreRate() * model.ComputeScale(hw, threads) *
+      model.options().cycles_per_op;
+  if (spec.achievable_gbps > 0) {
+    spec.ridge_instr_per_byte =
+        spec.peak_instr_per_sec / (spec.achievable_gbps * 1e9);
+  }
+  return spec;
+}
+
+namespace {
+
+// Shared verdict from (gbps, instructions/s): saturation first, then the
+// roofline position (arithmetic intensity vs the ridge).
+BoundClass ClassifySignals(double gbps, double instr_per_sec,
+                           const RooflineSpec& spec) {
+  if (gbps < 0) return BoundClass::kUnknown;
+  if (spec.saturation_gbps > 0 && gbps >= spec.saturation_gbps) {
+    return BoundClass::kBandwidth;
+  }
+  if (instr_per_sec >= 0 && gbps > 0 && spec.ridge_instr_per_byte > 0) {
+    const double intensity = instr_per_sec / (gbps * 1e9);
+    return intensity < spec.ridge_instr_per_byte ? BoundClass::kBandwidth
+                                                 : BoundClass::kCompute;
+  }
+  // Traffic measured but unsaturated with no instruction counter: the
+  // memory wall is demonstrably not the limit.
+  return BoundClass::kCompute;
+}
+
+}  // namespace
+
+BoundClass ClassifyInterval(const TimelineInterval& iv,
+                            const RooflineSpec& spec) {
+  return ClassifySignals(iv.gbps, iv.instr_per_sec, spec);
+}
+
+BoundClass ClassifyWindow(const PipelineWindow& w, const RooflineSpec& spec) {
+  double instr_per_sec = -1;
+  if (w.delta.Has(PerfEvent::kInstructions) && w.seconds > 0) {
+    instr_per_sec =
+        static_cast<double>(w.delta.Get(PerfEvent::kInstructions)) /
+        w.seconds;
+  }
+  return ClassifySignals(w.Gbps(), instr_per_sec, spec);
+}
+
+RooflineSummary BuildRooflineSummary(const QueryTimeline& timeline,
+                                     const RooflineSpec& spec) {
+  RooflineSummary out;
+  out.profile = spec.profile;
+  double gbps_weight = 0;
+  double gbps_sum = 0;
+  double ipc_weight = 0;
+  double ipc_sum = 0;
+  for (const TimelineInterval& iv : timeline.Intervals()) {
+    out.total_s += iv.dt_s;
+    if (iv.gbps >= 0) {
+      out.peak_gbps = std::max(out.peak_gbps, iv.gbps);
+      gbps_sum += iv.gbps * iv.dt_s;
+      gbps_weight += iv.dt_s;
+      if (spec.saturation_gbps > 0 && iv.gbps >= spec.saturation_gbps) {
+        out.time_at_saturation_s += iv.dt_s;
+      }
+    }
+    if (iv.ipc >= 0) {
+      ipc_sum += iv.ipc * iv.dt_s;
+      ipc_weight += iv.dt_s;
+    }
+  }
+  if (gbps_weight > 0) out.mean_gbps = gbps_sum / gbps_weight;
+  if (ipc_weight > 0) out.mean_ipc = ipc_sum / ipc_weight;
+  if (out.total_s > 0) {
+    out.saturation_fraction = out.time_at_saturation_s / out.total_s;
+  }
+  for (const PipelineWindow& w : timeline.PipelineWindows()) {
+    PipelineRoofline p;
+    p.label = w.label != nullptr ? w.label : "plan";
+    p.query_id = w.query_id;
+    p.seconds = w.seconds;
+    p.gbps = w.Gbps();
+    p.ipc = w.Ipc();
+    p.measured = ClassifyWindow(w, spec);
+    out.pipelines.push_back(std::move(p));
+  }
+  return out;
+}
+
+void CrossCheckWithModel(const hw::CostModel& model,
+                         const hw::HardwareProfile& hw,
+                         const exec::QueryStats& stats, int threads,
+                         RooflineSummary* summary) {
+  // Seconds-weighted roofs per operator label: the measured pipelines are
+  // labelled by operator scope, so the modeled verdict for "Filter" is the
+  // aggregate over every Filter invocation in the plan.
+  struct Roof {
+    double total_s = 0;
+    double bandwidth_s = 0;
+  };
+  std::map<std::string, Roof> by_label;
+  for (const auto& op : stats.ops) {
+    const hw::CostModel::OpRoofs roofs = model.OpRoofline(hw, op, threads);
+    const double sec =
+        std::max(roofs.compute_s, roofs.seq_s) + roofs.rand_s;
+    Roof& r = by_label[op.op];
+    r.total_s += sec;
+    if (roofs.BandwidthBound()) r.bandwidth_s += sec;
+  }
+  for (PipelineRoofline& p : summary->pipelines) {
+    auto it = by_label.find(p.label);
+    if (it == by_label.end() || it->second.total_s <= 0) continue;
+    p.modeled = it->second.bandwidth_s >= it->second.total_s * 0.5
+                    ? BoundClass::kBandwidth
+                    : BoundClass::kCompute;
+    if (p.measured == BoundClass::kUnknown) continue;
+    if (p.measured == p.modeled) {
+      ++summary->agree;
+    } else {
+      ++summary->disagree;
+    }
+  }
+}
+
+BoundClass ModeledQueryBound(const hw::CostModel& model,
+                             const hw::HardwareProfile& hw,
+                             const exec::QueryStats& stats, int threads,
+                             double* bw_fraction) {
+  const double frac = model.BandwidthBoundFraction(hw, stats, threads);
+  if (bw_fraction != nullptr) *bw_fraction = frac;
+  if (stats.ops.empty()) return BoundClass::kUnknown;
+  return frac > 0.5 ? BoundClass::kBandwidth : BoundClass::kCompute;
+}
+
+std::string RooflineSummary::Format() const {
+  char buf[160];
+  std::string out = "--- roofline timeline (" + profile + ") ---\n";
+  std::snprintf(buf, sizeof(buf),
+                "  sampled %.3fs, %.1f%% at bandwidth saturation",
+                total_s, saturation_fraction * 100);
+  out += buf;
+  if (peak_gbps >= 0) {
+    std::snprintf(buf, sizeof(buf), ", peak %.2f GB/s, mean %.2f GB/s",
+                  peak_gbps, mean_gbps);
+    out += buf;
+  }
+  if (mean_ipc >= 0) {
+    std::snprintf(buf, sizeof(buf), ", IPC %.2f", mean_ipc);
+    out += buf;
+  }
+  out += '\n';
+  for (const PipelineRoofline& p : pipelines) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s %8.3fs  measured=%-9s modeled=%-9s",
+                  p.label.c_str(), p.seconds, BoundClassName(p.measured),
+                  BoundClassName(p.modeled));
+    out += buf;
+    if (p.gbps >= 0) {
+      std::snprintf(buf, sizeof(buf), "  %6.2f GB/s", p.gbps);
+      out += buf;
+    }
+    out += '\n';
+  }
+  if (agree + disagree > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  measured vs modeled: %d agree, %d disagree (%.0f%%)\n",
+                  agree, disagree, AgreementFraction() * 100);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wimpi::obs::timeline

@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "obs/profiler.h"
+#include "obs/timeline/sampler.h"
+
 namespace wimpi::parallel {
 
 void RunPipelineMorsel(const std::function<void(const Morsel&)>& body,
@@ -29,6 +32,11 @@ namespace {
 class DefaultScheduler : public PipelineScheduler {
  public:
   void RunPipeline(const PipelineSpec& spec) override {
+    // Timeline attribution: the single-query path publishes on lane 0
+    // (query id 0 = "the one query"). One relaxed load when the sampler
+    // is off — the same budget as every other obs hook.
+    obs::timeline::ScopedPipelineActivity activity(
+        /*lane=*/0, obs::CurrentOpLabel(), /*query_id=*/0);
     TaskScheduler::Global().RunMorsels(spec.total_rows, spec.morsel_rows,
                                        spec.max_threads, *spec.body,
                                        spec.cancel);

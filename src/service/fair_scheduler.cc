@@ -12,6 +12,7 @@
 #include "obs/flight/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/timeline/sampler.h"
 #include "obs/trace.h"
 #include "obs/tracing/span.h"
 
@@ -241,6 +242,18 @@ void FairPipelineScheduler::RunPipeline(int lane_id,
       parallel::SplitMorsels(spec.total_rows, spec.morsel_rows);
   if (morsels.empty()) return;
   const char* label = obs::CurrentOpLabel();
+  // Timeline attribution: publish (lane, pipeline label, query id) for the
+  // sampler. Lane ids start at 1, so service lanes never collide with the
+  // default scheduler's lane 0. The flight-id lookup takes the scheduler
+  // mutex, but only when the sampler is armed, and once per pipeline.
+  uint64_t activity_query_id = 0;
+  if (obs::timeline::SamplerEnabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = lanes_.find(lane_id);
+    if (it != lanes_.end()) activity_query_id = it->second.flight_id;
+  }
+  obs::timeline::ScopedPipelineActivity activity(lane_id, label,
+                                                 activity_query_id);
   // Sequential fast path, identical to TaskScheduler::RunMorsels: a
   // single-threaded phase (or one already on a pool worker) never touches
   // the scheduler state.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "obs/flight/flight_recorder.h"
 #include "obs/flight/slow_query_log.h"
 #include "obs/metrics.h"
+#include "obs/timeline/sampler.h"
 #include "obs/tracing/span.h"
 #include "parallel/cancellation.h"
 #include "parallel/task_scheduler.h"
@@ -79,6 +81,12 @@ struct ServiceCore {
   struct PendingDump {
     int64_t since_us = 0;
     std::string path;
+    // The triggering query's timeline slice, captured at queue time (the
+    // sampler ring trims oldest-first, so slicing at flush time could lose
+    // the very samples the trigger was about). Written as a
+    // `<path>.timeline.jsonl` sidecar next to the event dump.
+    bool has_timeline = false;
+    obs::timeline::QueryTimeline timeline;
   };
   std::vector<PendingDump> pending_dumps;
   int dumps_done = 0;
@@ -204,6 +212,18 @@ struct ServiceCore {
                                      wall);
     }
 
+    // Timeline slice: when the roofline sampler is running, grab this
+    // query's submit->finish window of the sampled series now (the ring
+    // trims oldest-first). The sampler lock nests inside mu here; the
+    // sampler never takes service locks, so the order is acyclic.
+    obs::timeline::QueryTimeline qtl;
+    bool have_timeline = false;
+    if (obs::timeline::SamplerEnabled()) {
+      qtl = obs::timeline::TimelineSampler::Global().Slice(t->submit_us,
+                                                           t->finish_us);
+      have_timeline = true;
+    }
+
     // Tail-based triggers: a matching query lands in the slow-query log
     // and (when configured) schedules a retroactive flight dump. Dumps
     // are queued for after the mutex release (see pending_dumps).
@@ -239,9 +259,16 @@ struct ServiceCore {
           path += std::to_string(dump_seq);
         }
         ++dump_seq;
-        pending_dumps.push_back(
-            {t->submit_us - opts.flight.window_margin_us, std::move(path)});
+        pending_dumps.push_back({t->submit_us - opts.flight.window_margin_us,
+                                 std::move(path), have_timeline, qtl});
       }
+    }
+
+    // Attach the slice to the ticket's report last, after the slow-query
+    // entry copied `r`: log entries stay sample-free by construction.
+    if (have_timeline) {
+      r.timeline = std::move(qtl);
+      r.timeline_valid = true;
     }
 
     t->status = std::move(status);
@@ -262,6 +289,15 @@ struct ServiceCore {
                                                       &error)) {
         WIMPI_LOG(Warning) << "flight dump to " << d.path
                         << " failed: " << error;
+      }
+      if (d.has_timeline) {
+        const std::string tl_path = d.path + ".timeline.jsonl";
+        std::ofstream out(tl_path, std::ios::trunc);
+        if (out.is_open()) {
+          out << d.timeline.ToJsonl();
+        } else {
+          WIMPI_LOG(Warning) << "timeline dump to " << tl_path << " failed";
+        }
       }
     }
   }
